@@ -1,0 +1,17 @@
+"""Figure 1: the multithreading-model taxonomy."""
+
+import networkx as nx
+
+from repro.harness.figures import figure1
+from conftest import emit
+
+
+def test_figure1(benchmark):
+    text, graph = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    emit(text)
+    assert nx.is_directed_acyclic_graph(graph)
+    assert "conditional-switch" in graph
+    # Every model in the diagram descends from switch-every-cycle.
+    for node in graph:
+        if node != "switch-every-cycle":
+            assert nx.has_path(graph, "switch-every-cycle", node)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure of the paper at
+the ``REPRO_BENCH_SCALE`` problem scale (default ``bench`` — calibrated
+so the 80-90% efficiency columns are reachable, see
+``repro.harness.sizes``).  Set ``REPRO_BENCH_SCALE=tiny`` for a fast
+smoke run.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentContext
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+PROCESSORS = int(os.environ.get("REPRO_BENCH_PROCESSORS", "2"))
+
+
+@pytest.fixture(scope="module")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(scale=SCALE, processors=PROCESSORS)
+
+
+def emit(text: str) -> None:
+    """Print a rendered table under pytest's captured output."""
+    print("\n" + text)

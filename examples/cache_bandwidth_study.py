@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Section 6 in miniature: caching, bandwidth, and the critical-section
+problem.
+
+Run with::
+
+    python examples/cache_bandwidth_study.py
+
+Part 1 compares the explicit-switch (uncached) and conditional-switch
+(cached) machines on two contrasting applications: sor, whose stencil
+reuses neighbours heavily, and mp3d, whose scattered particle records
+cache poorly — the paper's bandwidth story.
+
+Part 2 reproduces the Section 6.2 anomaly: under conditional-switch,
+long cache-hit runs starve lock holders (ugray's work-queue lock) unless
+the forced-switch interval caps them.
+"""
+
+from repro.apps import get_app
+from repro.compiler import prepare_for_model
+from repro.machine import MachineConfig, SwitchModel
+from repro.runtime import run_app
+
+SIZES = {
+    "sor": {"n": 24, "iterations": 3},
+    "mp3d": {"particles": 192, "steps": 3, "cells": 4},
+    "ugray": {"width": 12, "height": 8, "grid": 5, "spheres": 10, "steps": 12},
+}
+
+
+def run(name, model, **config_extra):
+    spec = get_app(name)
+    app = spec.build(8, **SIZES[name])
+    program = prepare_for_model(app.program, model)
+    config = MachineConfig(
+        model=model,
+        num_processors=2,
+        threads_per_processor=4,
+        latency=200,
+        **config_extra,
+    )
+    return run_app(app, config, program=program)
+
+
+def part1():
+    print("Part 1: what a cache buys (and when it doesn't)\n")
+    header = (
+        f"{'app':6s} {'machine':20s} {'wall':>8s} {'hit rate':>9s} "
+        f"{'bits/cycle':>11s}"
+    )
+    print(header)
+    for name in ("sor", "mp3d"):
+        for model in (SwitchModel.EXPLICIT_SWITCH, SwitchModel.CONDITIONAL_SWITCH):
+            result = run(name, model)
+            stats = result.stats
+            print(
+                f"{name:6s} {model.value:20s} {result.wall_cycles:8d} "
+                f"{stats.hit_rate:9.0%} {stats.bandwidth_bits_per_cycle():11.2f}"
+            )
+        print()
+    print(
+        "sor's stencil caches well (hit rate >90%) and its bandwidth\n"
+        "drops; mp3d's scattered, rewritten records defeat the cache —\n"
+        "the paper's 'benefits little from caching'.\n"
+    )
+
+
+def part2():
+    print("Part 2: the Section 6.2 critical-section fix\n")
+    print(f"{'forced interval':>15s} {'wall cycles':>12s} {'forced switches':>16s}")
+    for interval in (800, 400, 200, 100):
+        result = run(
+            "ugray",
+            SwitchModel.CONDITIONAL_SWITCH,
+            forced_switch_interval=interval,
+        )
+        print(
+            f"{interval:>15d} {result.wall_cycles:>12d} "
+            f"{result.stats.forced_switches:>16d}"
+        )
+    print(
+        "\nWith a large interval, threads riding long cache-hit runs hold\n"
+        "the processor while siblings queue on the row lock; capping the\n"
+        "run (the paper uses 200 cycles) restores progress."
+    )
+
+
+if __name__ == "__main__":
+    part1()
+    part2()

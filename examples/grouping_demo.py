@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Figure 4, live: watch the post-processor group the sor inner loop.
+
+Run with::
+
+    python examples/grouping_demo.py
+
+Prints the paper's Figure 4 — the five-point stencil's loads before and
+after grouping — then measures what the transformation buys: run-length
+distributions and wall time under switch-on-load vs explicit-switch.
+"""
+
+from repro.apps import SorApp
+from repro.compiler import build_blocks, group_block, prepare_for_model
+from repro.isa.opcodes import Op
+from repro.machine import MachineConfig, SwitchModel
+from repro.runtime import run_app
+
+
+def show_transformation(app):
+    blocks = build_blocks(app.program)
+    stencil = max(
+        blocks, key=lambda blk: sum(1 for i in blk.instructions if i.op is Op.LWS)
+    )
+    before = [ins.to_asm() for ins in stencil.instructions]
+    after = [ins.to_asm() for ins in group_block(stencil.instructions)]
+    width = max(len(line) for line in before) + 6
+    print(f"{'(a) original order':<{width}}(b) grouped + explicit switch")
+    print("-" * (width + 30))
+    for i in range(max(len(before), len(after))):
+        left = before[i] if i < len(before) else ""
+        right = after[i] if i < len(after) else ""
+        print(f"{left:<{width}}{right}")
+    print()
+
+
+def measure(app, model):
+    program = prepare_for_model(app.program, model)
+    config = MachineConfig(
+        model=model, num_processors=2, threads_per_processor=4, latency=200
+    )
+    return run_app(app, config, program=program)
+
+
+def main():
+    app = SorApp().build(8, n=24, iterations=3)
+    show_transformation(app)
+
+    bins = [1, 2, 5, 10, 100]
+    print(f"{'model':<18s}{'wall':>10s}{'mean run':>10s}  run-length distribution")
+    for model in (SwitchModel.SWITCH_ON_LOAD, SwitchModel.EXPLICIT_SWITCH):
+        result = measure(app, model)
+        stats = result.stats
+        dist = stats.run_length_fractions(bins)
+        pretty = "  ".join(f"{k}:{v:.0%}" for k, v in dist.items())
+        print(
+            f"{model.value:<18s}{result.wall_cycles:>10d}"
+            f"{stats.mean_run_length:>10.1f}  {pretty}"
+        )
+    print(
+        "\nGrouping turned the 1-2 cycle runs between the stencil's five"
+        "\nback-to-back loads into a single long run per grid point —"
+        "\nthe paper's central result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""How many threads does it take to hide a given latency?
+
+Run with::
+
+    python examples/latency_tolerance.py
+
+Sweeps the multithreading level for the water application at several
+round-trip latencies under three switch models, printing the efficiency
+surface.  The paper's rule of thumb falls out: the threads needed scale
+like ``latency / mean_run_length + 1``, so grouping (which raises the
+mean run length) divides the required thread count.
+"""
+
+from repro.apps import WaterApp
+from repro.compiler import prepare_for_model
+from repro.machine import MachineConfig, SwitchModel
+from repro.runtime import run_app
+
+LEVELS = (1, 2, 4, 8, 12)
+LATENCIES = (100, 200, 400)
+SIZE = {"molecules": 24, "iterations": 2}
+
+
+def baseline_cycles() -> int:
+    app = WaterApp().build(1, **SIZE)
+    return run_app(app, MachineConfig(model=SwitchModel.IDEAL)).wall_cycles
+
+
+def main():
+    t1 = baseline_cycles()
+    spec = WaterApp()
+    for model in (
+        SwitchModel.SWITCH_ON_LOAD,
+        SwitchModel.EXPLICIT_SWITCH,
+        SwitchModel.CONDITIONAL_SWITCH,
+    ):
+        print(f"\n{model.value} — efficiency (P=2)")
+        print("  latency " + "".join(f"{f'M={m}':>8s}" for m in LEVELS))
+        for latency in LATENCIES:
+            cells = []
+            mean_run = None
+            for level in LEVELS:
+                app = spec.build(2 * level, **SIZE)
+                program = prepare_for_model(app.program, model)
+                config = MachineConfig(
+                    model=model,
+                    num_processors=2,
+                    threads_per_processor=level,
+                    latency=latency,
+                )
+                result = run_app(app, config, program=program)
+                cells.append(result.efficiency(t1))
+                mean_run = result.stats.mean_run_length
+            row = "".join(f"{value:8.2f}" for value in cells)
+            print(f"  {latency:7d} {row}   (mean run ~{mean_run:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Minimal ASCII line charts for the efficiency figures.
+
+The paper's Figures 2 and 3 are efficiency-vs-processors curves; the
+harness renders them both as data tables (exact values) and as an ASCII
+chart (shape at a glance).  No plotting dependency is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def efficiency_chart(
+    series: Dict[str, Dict[int, float]],
+    x_values: Sequence[int],
+    title: str,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "processors",
+) -> str:
+    """Render efficiency curves (y in [0, 1]) over *x_values*.
+
+    *series* maps a curve name to ``{x: efficiency}``.  X positions are
+    spread evenly (the paper's processor axes are logarithmic-ish steps,
+    so even spacing reads better than linear scaling).
+    """
+    if not series or not x_values:
+        return title + "\n(no data)"
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+    positions = {
+        x: round(index * (width - 1) / max(1, len(x_values) - 1))
+        for index, x in enumerate(x_values)
+    }
+
+    def row_of(value: float) -> int:
+        clamped = min(1.0, max(0.0, value))
+        return (height - 1) - round(clamped * (height - 1))
+
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark} {name}")
+        for x in x_values:
+            if x not in points:
+                continue
+            row = row_of(points[x])
+            col = positions[x]
+            canvas[row][col] = mark
+
+    lines = [title]
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = "1.0 |"
+        elif row_index == height - 1:
+            label = "0.0 |"
+        elif row_index == row_of(0.5):
+            label = "0.5 |"
+        else:
+            label = "    |"
+        lines.append(label + "".join(row))
+    lines.append("    +" + "-" * width)
+    ticks = [" "] * width
+    for x, col in positions.items():
+        text = str(x)
+        start = min(col, width - len(text))
+        for offset, char in enumerate(text):
+            ticks[start + offset] = char
+    lines.append("     " + "".join(ticks) + f"   ({x_label})")
+    lines.append("     " + "   ".join(legend))
+    return "\n".join(lines)

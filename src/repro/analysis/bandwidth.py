@@ -1,0 +1,25 @@
+"""Bandwidth and hit-rate rows for the Section 6.1 table.
+
+The paper reports, per application, the cache hit rate on shared loads
+and the per-processor network bandwidth in bits per cycle (forward plus
+return traffic, spin-synchronisation messages excluded).  The headline:
+with caching, every application except mp3d drops well under 4 bits per
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.machine.simulator import SimulationResult
+
+
+def bandwidth_row(result: SimulationResult) -> Dict[str, float]:
+    """Hit rate / bandwidth summary of one run."""
+    stats = result.stats
+    return {
+        "hit_rate": stats.hit_rate,
+        "bits_per_cycle": stats.bandwidth_bits_per_cycle(),
+        "messages": sum(stats.msg_counts.values()),
+        "sync_messages_excluded": stats.sync_msgs,
+    }

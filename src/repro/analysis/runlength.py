@@ -1,0 +1,35 @@
+"""Run-length distribution rows in the paper's Table 2 / Table 4 format.
+
+The paper bins run lengths (busy cycles between taken context switches)
+as 1, 2, 3-5, 6-10, 11-100 and >100 cycles, plus the mean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.machine.stats import SimStats
+
+#: Inclusive upper bin bounds used by the paper.
+RUN_BINS: List[int] = [1, 2, 5, 10, 100]
+
+#: Column labels derived from RUN_BINS.
+RUN_BIN_LABELS: List[str] = ["1", "2", "3-5", "6-10", "11-100", ">100"]
+
+
+def run_length_row(stats: SimStats) -> Dict[str, float]:
+    """One application's run-length distribution as percentages + mean.
+
+    Keys match :data:`RUN_BIN_LABELS`, plus ``'mean'``.
+    """
+    fractions = stats.run_length_fractions(RUN_BINS)
+    row = {label: 100.0 * fractions[label] for label in RUN_BIN_LABELS}
+    row["mean"] = stats.mean_run_length
+    return row
+
+
+def format_row_cells(row: Dict[str, float]) -> List[str]:
+    """Render a :func:`run_length_row` as table cells (percentages)."""
+    cells = [f"{row[label]:.0f}%" for label in RUN_BIN_LABELS]
+    cells.append(f"{row['mean']:.1f}")
+    return cells

@@ -1,0 +1,56 @@
+"""Minimal plain-text table renderer for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class TextTable:
+    """Fixed-column text table with a title, rendered ruler-style.
+
+    >>> t = TextTable("demo", ["app", "value"])
+    >>> t.add_row(["sor", 1.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        ruler = "-+-".join("-" * w for w in widths)
+        lines.append(ruler)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(ruler)
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        lines.append(ruler)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,34 @@
+"""The seven benchmark applications of the paper's Table 1.
+
+Every application is an SPMD kernel authored against the
+:class:`~repro.isa.builder.ProgramBuilder` DSL.  Each preserves the
+memory behaviour the paper reports for its namesake (run-length shape,
+grouping opportunity, cache friendliness) at a scaled-down problem size,
+and each verifies its own result against a Python/numpy oracle — which is
+what proves the compiler passes and machine models preserve semantics.
+"""
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.apps.registry import ALL_APPS, get_app, app_names
+from repro.apps.sieve import SieveApp
+from repro.apps.blkmat import BlkmatApp
+from repro.apps.sor import SorApp
+from repro.apps.ugray import UgrayApp
+from repro.apps.water import WaterApp
+from repro.apps.locus import LocusApp
+from repro.apps.mp3d import Mp3dApp
+
+__all__ = [
+    "AppSpec",
+    "BuiltApp",
+    "ALL_APPS",
+    "get_app",
+    "app_names",
+    "SieveApp",
+    "BlkmatApp",
+    "SorApp",
+    "UgrayApp",
+    "WaterApp",
+    "LocusApp",
+    "Mp3dApp",
+]

@@ -1,0 +1,63 @@
+"""Application framework: what a benchmark application provides.
+
+Each of the paper's seven applications (Table 1) is re-implemented as an
+:class:`AppSpec` that *builds* — for a given thread count and problem
+size — a :class:`BuiltApp`: the SPMD program (original, ungrouped code),
+the initial shared-memory image, and a functional-correctness check run
+against the final memory.  The check is what guarantees that the
+compiler's grouping pass and every machine model preserve the program's
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.program import Program
+
+
+@dataclasses.dataclass
+class BuiltApp:
+    """One application instance, ready for the loader."""
+
+    name: str
+    program: Program  # original (ungrouped) code
+    shared: List  # initial shared-memory image
+    nthreads: int  # thread count the instance was built for
+    local_size: int = 0  # words of private memory per thread
+    args_base: Optional[int] = None  # initial value of r6
+    #: Raises AssertionError when the final shared memory is wrong.
+    check: Optional[Callable[[List], None]] = None
+    #: Human-readable problem-size description (Table 1's last column).
+    meta: Dict = dataclasses.field(default_factory=dict)
+
+
+class AppSpec:
+    """Factory for one benchmark application.
+
+    Subclasses define ``name``, ``description``, ``default_size`` and
+    ``build``.  ``size`` keyword arguments scale the problem; every app
+    accepts at least its defaults.
+    """
+
+    name: str = "app"
+    description: str = ""
+    #: Keyword defaults understood by :meth:`build`.
+    default_size: Dict = {}
+
+    def build(self, nthreads: int, **size) -> BuiltApp:
+        raise NotImplementedError
+
+    def build_default(self, nthreads: int, scale: float = 1.0) -> BuiltApp:
+        """Build with default sizes (integers scaled by *scale*)."""
+        sized = {}
+        for key, value in self.default_size.items():
+            if isinstance(value, int) and key not in ("iterations",):
+                sized[key] = max(1, int(value * scale))
+            else:
+                sized[key] = value
+        return self.build(nthreads, **sized)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AppSpec {self.name}>"

@@ -1,0 +1,195 @@
+"""``blkmat`` — blocked matrix multiply, C = A x B.
+
+Paper behaviour to preserve (Table 2): an *exceptionally high* mean
+run length, because each thread copies its operand blocks into private
+(local) memory and then multiplies them with no shared traffic at all —
+thousands of cycles between context switches.
+
+Structure: the (n/bk)^2 output blocks are handed out dynamically with a
+Fetch-and-Add counter.  For each output block, the thread iterates over
+the k blocks: it copies an A block and a B block into local memory with
+Load-Double (two words per round trip), multiplies them into a local
+accumulator block, and finally writes the accumulated C block back with
+fire-and-forget Store-Doubles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import NTHREADS_REG
+from repro.runtime.layout import SharedLayout
+
+
+class BlkmatApp(AppSpec):
+    name = "blkmat"
+    description = "blocked matrix multiply (paper: 200 x 200)"
+    default_size = {"n": 24, "block": 8}
+
+    def build(self, nthreads: int, n: int = 24, block: int = 8) -> BuiltApp:
+        if n % block:
+            raise ValueError("matrix size must be a multiple of the block size")
+        if block % 2:
+            raise ValueError("block size must be even (Load-Double copies)")
+        blocks_per_dim = n // block
+
+        rng = np.random.default_rng(1992)
+        a = rng.uniform(-1.0, 1.0, size=(n, n))
+        bmat = rng.uniform(-1.0, 1.0, size=(n, n))
+
+        layout = SharedLayout()
+        a_base = layout.alloc("A", n * n, a.reshape(-1).tolist())
+        b_base = layout.alloc("B", n * n, bmat.reshape(-1).tolist())
+        c_base = layout.alloc("C", n * n, [0.0] * (n * n))
+        work_ctr = layout.word("work", 0)
+
+        b = ProgramBuilder()
+        # Local memory layout: A block, B block, C accumulator block.
+        la = 0
+        lb = block * block
+        lc = 2 * block * block
+        local_size = 3 * block * block
+
+        a_reg = b.int_reg("A")
+        b_reg = b.int_reg("B")
+        c_reg = b.int_reg("C")
+        ctr = b.int_reg()
+        one = b.int_reg()
+        b.li(a_reg, a_base)
+        b.li(b_reg, b_base)
+        b.li(c_reg, c_base)
+        b.li(ctr, work_ctr)
+        b.li(one, 1)
+
+        blk = b.int_reg("blk")  # linear block index
+        bi = b.int_reg("bi")
+        bj = b.int_reg("bj")
+        nblocks = b.int_reg()
+        b.li(nblocks, blocks_per_dim)
+        total_blocks = b.int_reg()
+        b.li(total_blocks, blocks_per_dim * blocks_per_dim)
+
+        next_block = b.fresh("nextblk")
+        done = b.fresh("done")
+        b.label(next_block)
+        b.faa(blk, ctr, 0, one)
+        b.bge(blk, total_blocks, done)
+        b.div(bi, blk, nblocks)
+        b.rem(bj, blk, nblocks)
+
+        # zero the local C accumulator
+        zero_f = b.fp_reg()
+        b.fli(zero_f, 0.0)
+        idx = b.int_reg()
+        with b.for_range(idx, 0, block * block):
+            b.swl(zero_f, idx, lc)
+
+        # loop over k blocks
+        bk = b.int_reg("bk")
+        with b.for_range(bk, 0, blocks_per_dim, stop_is_reg=False) as _:
+            # --- copy A[bi, bk] and B[bk, bj] into local memory ---
+            # A block row r lives at a_base + (bi*block + r)*n + bk*block
+            src = b.int_reg()
+            dst = b.int_reg()
+            row = b.int_reg()
+            pair0, pair1 = b.fp_pair()
+            col = b.int_reg()
+            for which, (base_reg, rblk, cblk, ldst) in enumerate(
+                ((a_reg, bi, bk, la), (b_reg, bk, bj, lb))
+            ):
+                with b.for_range(row, 0, block):
+                    # src = base + (rblk*block + row)*n + cblk*block
+                    b.muli(src, rblk, block)
+                    b.add(src, src, row)
+                    b.muli(src, src, n)
+                    b.add(src, src, base_reg)
+                    tmp = b.int_reg()
+                    b.muli(tmp, cblk, block)
+                    b.add(src, src, tmp)
+                    b.release(tmp)
+                    b.muli(dst, row, block)
+                    b.addi(dst, dst, ldst)
+                    with b.for_range(col, 0, block, step=2):
+                        b.lds(pair0, src, 0)  # two matrix words / round trip
+                        b.swl(pair0, dst, 0)
+                        b.swl(pair1, dst, 1)
+                        b.addi(src, src, 2)
+                        b.addi(dst, dst, 2)
+            b.release(src, dst, row, col, pair0, pair1)
+
+            # --- multiply local blocks: Cl += Al x Bl ---
+            i = b.int_reg()
+            jj = b.int_reg()
+            kk = b.int_reg()
+            acc = b.fp_reg()
+            av = b.fp_reg()
+            bv = b.fp_reg()
+            ai_addr = b.int_reg()
+            bj_addr = b.int_reg()
+            ci_addr = b.int_reg()
+            with b.for_range(i, 0, block):
+                with b.for_range(jj, 0, block):
+                    b.muli(ci_addr, i, block)
+                    b.add(ci_addr, ci_addr, jj)
+                    b.lwl(acc, ci_addr, lc)
+                    b.muli(ai_addr, i, block)
+                    b.mov(bj_addr, jj)
+                    with b.for_range(kk, 0, block):
+                        b.lwl(av, ai_addr, la)
+                        b.lwl(bv, bj_addr, lb)
+                        b.fmul(av, av, bv)
+                        b.fadd(acc, acc, av)
+                        b.addi(ai_addr, ai_addr, 1)
+                        b.addi(bj_addr, bj_addr, block)
+                    b.swl(acc, ci_addr, lc)
+            b.release(i, jj, kk, acc, av, bv, ai_addr, bj_addr, ci_addr)
+
+        # --- write back the C block with Store-Doubles ---
+        srow = b.int_reg()
+        sdst = b.int_reg()
+        ssrc = b.int_reg()
+        spair0, spair1 = b.fp_pair()
+        scol = b.int_reg()
+        with b.for_range(srow, 0, block):
+            b.muli(sdst, bi, block)
+            b.add(sdst, sdst, srow)
+            b.muli(sdst, sdst, n)
+            b.add(sdst, sdst, c_reg)
+            stmp = b.int_reg()
+            b.muli(stmp, bj, block)
+            b.add(sdst, sdst, stmp)
+            b.release(stmp)
+            b.muli(ssrc, srow, block)
+            b.addi(ssrc, ssrc, lc)
+            with b.for_range(scol, 0, block, step=2):
+                b.lwl(spair0, ssrc, 0)
+                b.lwl(spair1, ssrc, 1)
+                b.sds(spair0, sdst, 0)
+                b.addi(ssrc, ssrc, 2)
+                b.addi(sdst, sdst, 2)
+        b.release(srow, sdst, ssrc, spair0, spair1, scol)
+        b.j(next_block)
+        b.label(done)
+        b.halt()
+
+        expected = a @ bmat
+
+        def check(memory: List) -> None:
+            got = np.array(memory[c_base : c_base + n * n]).reshape(n, n)
+            if not np.allclose(got, expected, rtol=1e-9, atol=1e-12):
+                worst = np.abs(got - expected).max()
+                raise AssertionError(f"blkmat: result off by up to {worst}")
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("blkmat"),
+            shared=layout.build_image(),
+            nthreads=nthreads,
+            local_size=local_size,
+            check=check,
+            meta={"n": n, "block": block},
+        )

@@ -1,0 +1,217 @@
+"""``locus`` — standard-cell wire router (LocusRoute-style).
+
+Paper behaviour to preserve: the *shortest* run lengths of the suite
+(loads a cycle or two apart), little intra-block grouping (the two fields
+of a routing cell are read in different basic blocks because a condition
+test sits between them — Section 5.2's observation), and a large
+inter-block opportunity (84% of its loads hit the one-line cache).
+
+Each wire (dispensed by Fetch-and-Add) is routed greedily from its source
+toward its target.  While both coordinates differ, the router scores the
+two candidate next cells; a cell's score is its static terrain cost plus
+its congestion count, but the congestion field is only read when the
+terrain cost is below a blocking threshold — the conditional second-field
+read that splits the accesses across basic blocks.  The chosen cell's
+congestion count is bumped (read-modify-write; races between wires are
+benign and the checks are invariant-based, as for the original racy
+application).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.runtime.layout import SharedLayout
+
+BLOCK_COST = 1000  # terrain at or above this never has its congestion read
+
+
+class LocusApp(AppSpec):
+    name = "locus"
+    description = "route wires in a cost grid (paper: Primary2, 1250 cells)"
+    default_size = {"width": 32, "height": 20, "wires": 48}
+
+    def build(
+        self, nthreads: int, width: int = 32, height: int = 20, wires: int = 48
+    ) -> BuiltApp:
+        rng = np.random.default_rng(11)
+        terrain = rng.integers(0, 8, size=(height, width))
+
+        endpoints = []
+        for _ in range(wires):
+            x1 = int(rng.integers(0, width))
+            y1 = int(rng.integers(0, height))
+            x2 = int(rng.integers(0, width))
+            y2 = int(rng.integers(0, height))
+            endpoints.append((x1, y1, x2, y2))
+
+        layout = SharedLayout()
+        # Cell record: 2 words: terrain cost (static), congestion (dynamic).
+        grid_base = layout.alloc("grid", 2 * width * height)
+        wire_base = layout.alloc("wires", 4 * wires)
+        result_base = layout.alloc("results", 2 * wires)
+        work_ctr = layout.word("work", 0)
+        for y in range(height):
+            for x in range(width):
+                layout.poke(grid_base + 2 * (y * width + x), int(terrain[y, x]))
+        for w, (x1, y1, x2, y2) in enumerate(endpoints):
+            for c, value in enumerate((x1, y1, x2, y2)):
+                layout.poke(wire_base + 4 * w + c, value)
+
+        b = ProgramBuilder()
+        gbase = b.int_reg("grid")
+        wbase = b.int_reg("wires")
+        rbase = b.int_reg("results")
+        ctr = b.int_reg()
+        one = b.int_reg()
+        b.li(gbase, grid_base)
+        b.li(wbase, wire_base)
+        b.li(rbase, result_base)
+        b.li(ctr, work_ctr)
+        b.li(one, 1)
+        nwires = b.int_reg()
+        b.li(nwires, wires)
+        widthr = b.int_reg()
+        b.li(widthr, width)
+        blockc = b.int_reg()
+        b.li(blockc, BLOCK_COST)
+
+        wire = b.int_reg("wire")
+        waddr = b.int_reg()
+        x, y = b.int_pair()
+        tx, ty = b.int_pair()
+        dx = b.int_reg()
+        dy = b.int_reg()
+        path_len = b.int_reg()
+        cell1 = b.int_reg()
+        cell2 = b.int_reg()
+        score1 = b.int_reg()
+        score2 = b.int_reg()
+        field = b.int_reg()
+        chosen = b.int_reg()
+
+        def cell_addr(dest, xr, yr):
+            """dest = grid_base + 2*(y*width + x)"""
+            b.mul(dest, yr, widthr)
+            b.add(dest, dest, xr)
+            b.slli(dest, dest, 1)
+            b.add(dest, dest, gbase)
+
+        def score_candidate(dest_score, dest_cell, xr, yr):
+            """Load terrain cost; congestion is read only when the cell is
+            not blocked — the paper's split-across-blocks field access."""
+            cell_addr(dest_cell, xr, yr)
+            b.lws(dest_score, dest_cell, 0)  # terrain field
+            with b.if_cmp("lt", dest_score, blockc):
+                b.lws(field, dest_cell, 1)  # congestion field, other block
+                b.add(dest_score, dest_score, field)
+
+        next_wire = b.fresh("nextwire")
+        done = b.fresh("alldone")
+        b.label(next_wire)
+        b.faa(wire, ctr, 0, one)
+        b.bge(wire, nwires, done)
+        b.slli(waddr, wire, 2)
+        b.add(waddr, waddr, wbase)
+        b.lds(x, waddr, 0)  # x1, y1
+        b.lds(tx, waddr, 2)  # x2, y2
+        b.li(path_len, 0)
+
+        steploop = b.fresh("step")
+        arrived = b.fresh("arrived")
+        b.label(steploop)
+        stepped = b.fresh("stepped")
+        b.seq(dx, x, tx)
+        b.seq(dy, y, ty)
+        with b.if_cmp("eq", dx, "r0"):  # x != tx
+            with b.if_cmp("eq", dy, "r0"):  # and y != ty: score both
+                b.slt(dx, x, tx)
+                b.slli(dx, dx, 1)
+                b.addi(dx, dx, -1)  # dx = +-1 toward tx
+                b.slt(dy, y, ty)
+                b.slli(dy, dy, 1)
+                b.addi(dy, dy, -1)  # dy = +-1 toward ty
+                # candidate 1: (x+dx, y); candidate 2: (x, y+dy)
+                cand_x = b.int_reg()
+                cand_y = b.int_reg()
+                b.add(cand_x, x, dx)
+                score_candidate(score1, cell1, cand_x, y)
+                b.add(cand_y, y, dy)
+                score_candidate(score2, cell2, x, cand_y)
+                with b.if_else("le", score1, score2) as arm:
+                    b.mov(x, cand_x)
+                    b.mov(chosen, cell1)
+                    with arm.otherwise():
+                        b.mov(y, cand_y)
+                        b.mov(chosen, cell2)
+                b.release(cand_x, cand_y)
+                b.j(stepped)
+        # Straight-line tail: step whichever coordinate still differs.
+        with b.if_cmp("eq", dx, "r0"):  # x != tx, y == ty
+            b.slt(dy, x, tx)
+            b.slli(dy, dy, 1)
+            b.addi(dy, dy, -1)
+            b.add(x, x, dy)
+            cell_addr(chosen, x, y)
+            b.j(stepped)
+        with b.if_cmp("eq", dy, "r0"):  # y != ty, x == tx
+            b.slt(dx, y, ty)
+            b.slli(dx, dx, 1)
+            b.addi(dx, dx, -1)
+            b.add(y, y, dx)
+            cell_addr(chosen, x, y)
+            b.j(stepped)
+        b.j(arrived)  # both equal: wire complete
+
+        b.label(stepped)
+        # Enter the chosen cell: bump its congestion count (benign race).
+        b.lws(field, chosen, 1)
+        b.addi(field, field, 1)
+        b.sws(field, chosen, 1)
+        b.addi(path_len, path_len, 1)
+        b.j(steploop)
+
+        b.label(arrived)
+        raddr = b.int_reg()
+        b.slli(raddr, wire, 1)
+        b.add(raddr, raddr, rbase)
+        b.sws(path_len, raddr, 0)
+        b.sws(one, raddr, 1)
+        b.release(raddr)
+        b.j(next_wire)
+        b.label(done)
+        b.halt()
+
+        def check(memory: List) -> None:
+            total_cells = 0
+            for w, (x1, y1, x2, y2) in enumerate(endpoints):
+                length = memory[result_base + 2 * w]
+                routed = memory[result_base + 2 * w + 1]
+                manhattan = abs(x2 - x1) + abs(y2 - y1)
+                assert routed == 1, f"locus: wire {w} not routed"
+                assert length == manhattan, (
+                    f"locus: wire {w} path length {length}, "
+                    f"expected {manhattan}"
+                )
+                total_cells += manhattan
+            # Congestion counts are racy (lost updates possible) but can
+            # never exceed the number of path cells laid down in total.
+            congestion = sum(
+                memory[grid_base + 2 * c + 1] for c in range(width * height)
+            )
+            assert 0 < congestion <= total_cells or total_cells == 0, (
+                f"locus: congestion sum {congestion} outside (0, {total_cells}]"
+            )
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("locus"),
+            shared=layout.build_image(),
+            nthreads=nthreads,
+            check=check,
+            meta={"width": width, "height": height, "wires": wires},
+        )

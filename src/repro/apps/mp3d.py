@@ -1,0 +1,193 @@
+"""``mp3d`` — rarefied-flow particle simulation (SPLASH-style).
+
+Paper behaviour to preserve: very short run lengths and *poor reference
+locality* — the particle records a thread touches are scattered through
+shared memory, and every record is rewritten each step, so caching helps
+far less than for the other applications (Section 6.1: "mp3d has very
+poor reference locality and thus benefits little from caching").
+
+Each time step, each thread walks its strided share of particles.
+Particle *i* lives at a scattered slot (``(i * 17) mod NP``), so
+consecutive particles hit different cache lines.  The thread loads the
+record (three back-to-back Load-Doubles — a natural group), advances the
+position, reflects off the walls of the box, stores the record back
+(fire-and-forget), and bumps the particle's space-cell population counter
+with Fetch-and-Add.  A barrier separates time steps.
+
+Particles do not interact, so final positions/velocities and the final
+cell histogram are exactly reproducible by a Python oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import TID_REG, NTHREADS_REG
+from repro.runtime.layout import SharedLayout
+from repro.runtime.sync import emit_barrier, BARRIER_WORDS
+
+DT = 0.25
+
+
+def _scatter_stride(count: int) -> int:
+    """A stride coprime to *count* used to scatter particle records."""
+    return 17 if math.gcd(17, count) == 1 else 1
+
+
+def _reference(pos0, vel0, steps, cells):
+    """Exact Python oracle: same operations, same order per particle."""
+    box = float(cells)
+    count = len(pos0)
+    pos = [list(p) for p in pos0]
+    vel = [list(v) for v in vel0]
+    hist = [0] * (cells * cells * cells)
+    for _ in range(steps):
+        for i in range(count):
+            p, v = pos[i], vel[i]
+            for c in range(3):
+                p[c] = p[c] + v[c] * DT
+                if p[c] < 0.0:
+                    p[c] = -p[c]
+                    v[c] = -v[c]
+                if p[c] > box:
+                    p[c] = 2.0 * box - p[c]
+                    v[c] = -v[c]
+            cx, cy, cz = (min(int(p[c]), cells - 1) for c in range(3))
+            hist[(cz * cells + cy) * cells + cx] += 1
+    return pos, vel, hist
+
+
+class Mp3dApp(AppSpec):
+    name = "mp3d"
+    description = "rarefied hypersonic flow (paper: 100,000 particles)"
+    default_size = {"particles": 256, "steps": 3, "cells": 4}
+
+    def build(
+        self, nthreads: int, particles: int = 256, steps: int = 3, cells: int = 4
+    ) -> BuiltApp:
+        np_count = particles
+        box = float(cells)
+        stride = _scatter_stride(np_count)
+        rng = np.random.default_rng(3)
+        pos0 = rng.uniform(0.05, box - 0.05, size=(np_count, 3)).tolist()
+        vel0 = rng.uniform(-0.2, 0.2, size=(np_count, 3)).tolist()
+
+        layout = SharedLayout()
+        # Particle record: 8 words: x y z vx vy vz pad pad.
+        p_base = layout.alloc("particles", 8 * np_count)
+        cell_base = layout.alloc("cells", cells * cells * cells)
+        barrier = layout.alloc("barrier", BARRIER_WORDS)
+        for i in range(np_count):
+            slot = (i * stride) % np_count
+            for c in range(3):
+                layout.poke(p_base + 8 * slot + c, pos0[i][c])
+                layout.poke(p_base + 8 * slot + 3 + c, vel0[i][c])
+
+        b = ProgramBuilder()
+        pbase = b.int_reg("p")
+        cbase = b.int_reg("cells")
+        bar = b.int_reg()
+        b.li(pbase, p_base)
+        b.li(cbase, cell_base)
+        b.li(bar, barrier)
+        nparts = b.int_reg()
+        b.li(nparts, np_count)
+        one = b.int_reg()
+        b.li(one, 1)
+        ncells = b.int_reg()
+        b.li(ncells, cells)
+        cmax = b.int_reg()
+        b.li(cmax, cells - 1)
+
+        dt = b.fp_reg()
+        zero_f = b.fp_reg()
+        boxf = b.fp_reg()
+        two_box = b.fp_reg()
+        b.fli(dt, DT)
+        b.fli(zero_f, 0.0)
+        b.fli(boxf, box)
+        b.fli(two_box, 2.0 * box)
+
+        step = b.int_reg("step")
+        i = b.int_reg("i")
+        slot = b.int_reg()
+        addr = b.int_reg()
+        x, y = b.fp_pair()
+        z, vx = b.fp_pair()
+        vy, vz = b.fp_pair()
+        tmpf = b.fp_reg()
+        cell = b.int_reg()
+        coord = b.int_reg()
+        faddr = b.int_reg()
+        old = b.int_reg()
+
+        with b.for_range(step, 0, steps):
+            b.mov(i, TID_REG)
+            ploop = b.fresh("ploop")
+            pend = b.fresh("pend")
+            b.label(ploop)
+            b.bge(i, nparts, pend)
+            # scattered record address: ((i*stride) mod NP) * 8
+            b.muli(slot, i, stride)
+            b.rem(slot, slot, nparts)
+            b.slli(slot, slot, 3)
+            b.add(addr, slot, pbase)
+            # load the whole record: three back-to-back Load-Doubles
+            b.lds(x, addr, 0)
+            b.lds(z, addr, 2)
+            b.lds(vy, addr, 4)
+            # advance and reflect off the walls, component by component
+            for p, v in ((x, vx), (y, vy), (z, vz)):
+                b.fmul(tmpf, v, dt)
+                b.fadd(p, p, tmpf)
+                with b.if_cmp("lt", p, zero_f):
+                    b.fneg(p, p)
+                    b.fneg(v, v)
+                with b.if_cmp("gt", p, boxf):
+                    b.fsub(p, two_box, p)
+                    b.fneg(v, v)
+            # store the record back (fire-and-forget)
+            b.sds(x, addr, 0)
+            b.sds(z, addr, 2)
+            b.sds(vy, addr, 4)
+            # cell histogram: cell = (cz*cells + cy)*cells + cx
+            b.li(cell, 0)
+            for p in (z, y, x):
+                b.cvtfi(coord, p)
+                with b.if_cmp("gt", coord, cmax):
+                    b.mov(coord, cmax)
+                b.mul(cell, cell, ncells)
+                b.add(cell, cell, coord)
+            b.add(faddr, cbase, cell)
+            b.faa(old, faddr, 0, one)
+            b.add(i, i, NTHREADS_REG)
+            b.j(ploop)
+            b.label(pend)
+            emit_barrier(b, bar, NTHREADS_REG)
+        b.halt()
+
+        exp_pos, exp_vel, exp_hist = _reference(pos0, vel0, steps, cells)
+
+        def check(memory: List) -> None:
+            for i in range(np_count):
+                slot = (i * stride) % np_count
+                got_p = memory[p_base + 8 * slot : p_base + 8 * slot + 3]
+                got_v = memory[p_base + 8 * slot + 3 : p_base + 8 * slot + 6]
+                assert got_p == exp_pos[i], f"mp3d: particle {i} position"
+                assert got_v == exp_vel[i], f"mp3d: particle {i} velocity"
+            got_hist = memory[cell_base : cell_base + cells**3]
+            assert got_hist == exp_hist, "mp3d: cell histogram mismatch"
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("mp3d"),
+            shared=layout.build_image(),
+            nthreads=nthreads,
+            check=check,
+            meta={"particles": np_count, "steps": steps, "cells": cells},
+        )

@@ -1,0 +1,40 @@
+"""Registry of the seven benchmark applications (paper Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import AppSpec
+from repro.apps.sieve import SieveApp
+from repro.apps.blkmat import BlkmatApp
+from repro.apps.sor import SorApp
+from repro.apps.ugray import UgrayApp
+from repro.apps.water import WaterApp
+from repro.apps.locus import LocusApp
+from repro.apps.mp3d import Mp3dApp
+
+#: Table 1 order.
+ALL_APPS: List[AppSpec] = [
+    SieveApp(),
+    BlkmatApp(),
+    SorApp(),
+    UgrayApp(),
+    WaterApp(),
+    LocusApp(),
+    Mp3dApp(),
+]
+
+_BY_NAME: Dict[str, AppSpec] = {spec.name: spec for spec in ALL_APPS}
+
+
+def get_app(name: str) -> AppSpec:
+    """Look an application up by its Table 1 name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown application {name!r} (known: {known})") from None
+
+
+def app_names() -> List[str]:
+    return [spec.name for spec in ALL_APPS]

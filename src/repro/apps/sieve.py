@@ -1,0 +1,243 @@
+"""``sieve`` — count (and sum) the primes below N.
+
+Paper behaviour to preserve (Table 2, Figure 3): a *fairly constant*
+run-length distribution — the program "runs through a large array marking
+numbers as non-prime at a constant rate" — so a modest multithreading
+level hides the full latency, and grouping does not help much further
+(shared memory is touched one or two items at a time, never in big
+independent bunches).
+
+Structure (a classic segmented Sequent-style sieve):
+
+* phase 0 — every thread sieves the tiny range up to sqrt(N) in its
+  *private local* memory (duplicated read-only precompute, no shared
+  traffic);
+* phase 1 — the flag array is split into contiguous even-aligned
+  segments; each thread streams through its own segment marking the
+  multiples of every small prime (fire-and-forget stores at a constant
+  rate — perfectly balanced, no straggler);
+* barrier;
+* phase 2 — each thread counts and sums the primes in its segment with
+  Load-Double (two flags per network round trip), then folds its
+  subtotals into global cells with Fetch-and-Add.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import TID_REG, NTHREADS_REG
+from repro.runtime.layout import SharedLayout
+from repro.runtime.sync import emit_barrier, BARRIER_WORDS
+
+
+def reference_sieve(limit: int) -> tuple:
+    """(count, sum) of primes below *limit* — plain Python oracle."""
+    if limit < 3:
+        return 0, 0
+    flags = bytearray(limit)
+    for candidate in range(2, int(limit**0.5) + 1):
+        if not flags[candidate]:
+            marks = range(candidate * candidate, limit, candidate)
+            flags[candidate * candidate :: candidate] = b"\x01" * len(marks)
+    primes = [n for n in range(2, limit) if not flags[n]]
+    return len(primes), sum(primes)
+
+
+class SieveApp(AppSpec):
+    name = "sieve"
+    description = "counts primes < N (paper: N = 4,000,000)"
+    default_size = {"limit": 4000}
+
+    def build(self, nthreads: int, limit: int = 4000) -> BuiltApp:
+        if limit < 16:
+            raise ValueError("sieve needs limit >= 16")
+        limit -= limit % 2  # even limit keeps the Load-Double scan tail-free
+        layout = SharedLayout()
+        flags = layout.alloc("flags", limit)
+        count_total = layout.word("count")
+        sum_total = layout.word("sum")
+        barrier = layout.alloc("barrier", BARRIER_WORDS)
+        root = int(limit**0.5)
+        prime_list = layout.alloc("small_primes", root + 1)
+        primes_ready = layout.word("primes_ready", 0)  # nprimes + 1 when set
+        # Local memory: flags for [0, root], then the small-prime list.
+        local_flags = 0
+        local_primes = root + 1
+        local_size = 2 * (root + 2)
+
+        b = ProgramBuilder()
+        flags_base = b.int_reg("flags")
+        limit_reg = b.int_reg("limit")
+        b.li(flags_base, flags)
+        b.li(limit_reg, limit)
+        one = b.int_reg()
+        b.li(one, 1)
+
+        # ---- phase 0: thread 0 sieves [2, root] privately and publishes
+        # the small primes; everyone else copies them once they appear ----
+        root_reg = b.int_reg()
+        b.li(root_reg, root)
+        candidate = b.int_reg("p")
+        flag = b.int_reg()
+        multiple = b.int_reg()
+        nprimes = b.int_reg("nprimes")
+        plist = b.int_reg()
+        ready = b.int_reg()
+        b.li(plist, prime_list)
+        b.li(ready, primes_ready)
+        b.li(nprimes, 0)
+        fetch_primes = b.fresh("fetchprimes")
+        phase0_done = b.fresh("phase0done")
+        b.bne(TID_REG, "r0", fetch_primes)
+        with b.for_range(candidate, 2, root + 1):
+            b.lwl(flag, candidate, local_flags)
+            with b.if_cmp("eq", flag, "r0"):
+                # record the prime locally and publish it
+                b.add(multiple, nprimes, "r0")
+                b.swl(candidate, multiple, local_primes)
+                b.add(multiple, multiple, plist)
+                b.sws(candidate, multiple, 0)
+                b.addi(nprimes, nprimes, 1)
+                # mark local multiples up to root
+                b.mul(multiple, candidate, candidate)
+                mark0 = b.fresh("mark0")
+                mark0_done = b.fresh("mark0done")
+                b.label(mark0)
+                b.bgt(multiple, root_reg, mark0_done)
+                b.swl(one, multiple, local_flags)
+                b.add(multiple, multiple, candidate)
+                b.j(mark0)
+                b.label(mark0_done)
+        # publish the count (stores are delivered in order, so every
+        # published prime is visible before the flag flips)
+        b.addi(flag, nprimes, 1)
+        b.sws(flag, ready, 0)
+        b.j(phase0_done)
+        # other threads: wait for the flag, then copy the primes locally
+        b.label(fetch_primes)
+        spin = b.fresh("primespin")
+        b.label(spin)
+        b.lws(flag, ready, 0, sync=True)
+        b.beq(flag, "r0", spin)
+        b.addi(nprimes, flag, -1)
+        with b.for_range(candidate, 0, nprimes, stop_is_reg=True):
+            b.add(multiple, candidate, plist)
+            b.lws(flag, multiple, 0)
+            b.swl(flag, candidate, local_primes)
+        b.label(phase0_done)
+        b.release(plist, ready)
+
+        # ---- segment bounds: even-aligned contiguous chunks of [2, limit) ----
+        lo = b.int_reg("lo")
+        hi = b.int_reg("hi")
+        chunk = b.int_reg()
+        b.li(chunk, limit - 2)
+        b.div(chunk, chunk, NTHREADS_REG)
+        b.srli(chunk, chunk, 1)
+        b.slli(chunk, chunk, 1)
+        b.addi(chunk, chunk, 2)  # even chunk size, n*chunk >= limit-2
+        b.mul(lo, chunk, TID_REG)
+        b.addi(lo, lo, 2)
+        b.add(hi, lo, chunk)
+        b.release(chunk)
+        with b.if_cmp("gt", hi, limit_reg):
+            b.mov(hi, limit_reg)
+        with b.if_cmp("gt", lo, limit_reg):
+            b.mov(lo, limit_reg)
+
+        # ---- phase 1: mark multiples of each small prime in [lo, hi) ----
+        pidx = b.int_reg()
+        addr = b.int_reg()
+        start = b.int_reg()
+        with b.for_range(pidx, 0, nprimes, stop_is_reg=True):
+            b.lwl(candidate, pidx, local_primes)
+            # start = max(candidate^2, first multiple >= lo)
+            b.mul(start, candidate, candidate)
+            with b.if_cmp("lt", start, lo):
+                # start = ceil(lo / candidate) * candidate
+                b.addi(start, lo, -1)
+                b.div(start, start, candidate)
+                b.addi(start, start, 1)
+                b.mul(start, start, candidate)
+            mark = b.fresh("mark")
+            mark_done = b.fresh("markdone")
+            b.label(mark)
+            b.bge(start, hi, mark_done)
+            b.add(addr, flags_base, start)
+            b.sws(one, addr, 0)
+            b.add(start, start, candidate)
+            b.j(mark)
+            b.label(mark_done)
+        b.release(pidx, start, root_reg, multiple, flag)
+
+        # ---- barrier between marking and counting ----
+        bar = b.int_reg()
+        b.li(bar, barrier)
+        emit_barrier(b, bar, NTHREADS_REG)
+        b.release(bar)
+
+        # ---- phase 2: count/sum the primes of the same segment ----
+        # Branchless: every flag pair costs the same cycles, giving the
+        # near-constant run-length distribution the paper reports.
+        # Segments are even-aligned (and limit is even), so there is no
+        # odd tail item.
+        count = b.int_reg("count")
+        total = b.int_reg("sum")
+        b.li(count, 0)
+        b.li(total, 0)
+        flag0, flag1 = b.int_pair()
+        pos = b.int_reg()
+        nxt = b.int_reg()
+        notflag = b.int_reg()
+        weighted = b.int_reg()
+        scan = b.fresh("scan")
+        scandone = b.fresh("scandone")
+        b.mov(pos, lo)
+        b.label(scan)
+        b.bge(pos, hi, scandone)
+        b.add(addr, flags_base, pos)
+        b.lds(flag0, addr, 0)  # flags[pos], flags[pos+1]
+        b.sub(notflag, one, flag0)
+        b.add(count, count, notflag)
+        b.mul(weighted, pos, notflag)
+        b.add(total, total, weighted)
+        b.addi(nxt, pos, 1)
+        b.sub(notflag, one, flag1)
+        b.add(count, count, notflag)
+        b.mul(weighted, nxt, notflag)
+        b.add(total, total, weighted)
+        b.addi(pos, pos, 2)
+        b.j(scan)
+        b.label(scandone)
+
+        cell = b.int_reg()
+        scratch = b.int_reg()
+        b.li(cell, count_total)
+        b.faa(scratch, cell, 0, count)
+        b.li(cell, sum_total)
+        b.faa(scratch, cell, 0, total)
+        b.halt()
+
+        expected_count, expected_sum = reference_sieve(limit)
+
+        def check(memory: List) -> None:
+            assert memory[count_total] == expected_count, (
+                f"sieve: counted {memory[count_total]} primes, "
+                f"expected {expected_count}"
+            )
+            assert memory[sum_total] == expected_sum, (
+                f"sieve: prime sum {memory[sum_total]}, expected {expected_sum}"
+            )
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("sieve"),
+            shared=layout.build_image(pad=2),  # LDS may read one word past
+            nthreads=nthreads,
+            local_size=local_size,
+            check=check,
+            meta={"limit": limit, "primes": expected_count},
+        )

@@ -1,0 +1,320 @@
+"""``ugray`` — ray-casting renderer over a uniform spatial grid.
+
+Paper behaviour to preserve: moderate run lengths with limited
+*intra*-block grouping — the fields of small structures (grid-cell
+directory entries, sphere records) are loaded in different basic blocks
+because condition tests sit between them (Section 5.2 found 42% of
+ugray's loads could be grouped inter-block) — plus the Section 6.2
+critical-section story: scene data caches extremely well, so under
+conditional-switch threads run for thousands of cycles between misses
+while other threads wait on the work-queue lock.
+
+The kernel renders a W x H image slice by marching each primary ray
+through a G^3 voxel grid in fixed steps.  When a ray enters a new voxel
+it loads the voxel's directory entry (offset, count — a Load-Double);
+only a non-empty voxel leads to loads of the sphere index list and sphere
+records (centre pair, centre z + squared radius).  Rows are dispensed
+from a lock-protected counter (a deliberate critical section).  The
+scene is read-only, so the image is bit-exactly reproducible in Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import NTHREADS_REG
+from repro.runtime.layout import SharedLayout
+from repro.runtime.sync import (
+    emit_lock_acquire,
+    emit_lock_release,
+    LOCK_WORDS,
+)
+
+
+def _build_scene(grid: int, nspheres: int, rng):
+    """Sphere records and the voxel directory (offset, count) + index list."""
+    spheres = []
+    for _ in range(nspheres):
+        cx, cy, cz = rng.uniform(0.8, grid - 0.8, size=3)
+        radius = rng.uniform(0.35, 0.9)
+        spheres.append((float(cx), float(cy), float(cz), float(radius * radius)))
+    cell_lists = [[] for _ in range(grid**3)]
+    for sid, (cx, cy, cz, r2) in enumerate(spheres):
+        radius = math.sqrt(r2)
+        for vz in range(max(0, int(cz - radius)), min(grid, int(cz + radius) + 1)):
+            for vy in range(max(0, int(cy - radius)), min(grid, int(cy + radius) + 1)):
+                for vx in range(
+                    max(0, int(cx - radius)), min(grid, int(cx + radius) + 1)
+                ):
+                    cell_lists[(vz * grid + vy) * grid + vx].append(sid)
+    index_list: List[int] = []
+    directory = []
+    for spheres_here in cell_lists:
+        directory.append((len(index_list), len(spheres_here)))
+        index_list.extend(spheres_here)
+    return spheres, directory, index_list
+
+
+class UgrayApp(AppSpec):
+    name = "ugray"
+    description = "ray tracing renderer (paper: gears scene, 20 x 512 slice)"
+    default_size = {"width": 16, "height": 12, "grid": 6, "spheres": 14, "steps": 14}
+
+    def build(
+        self,
+        nthreads: int,
+        width: int = 16,
+        height: int = 12,
+        grid: int = 6,
+        spheres: int = 14,
+        steps: int = 14,
+    ) -> BuiltApp:
+        rng = np.random.default_rng(1729)
+        sphere_recs, directory, index_list = _build_scene(grid, spheres, rng)
+
+        layout = SharedLayout()
+        sph_base = layout.alloc(
+            "spheres", 4 * spheres, [v for rec in sphere_recs for v in rec]
+        )
+        dir_base = layout.alloc(
+            "cells", 2 * len(directory), [v for entry in directory for v in entry]
+        )
+        idx_base = layout.alloc("indices", max(1, len(index_list)), index_list)
+        image_base = layout.alloc("image", width * height, [0] * (width * height))
+        row_ctr = layout.word("next_row", 0)
+        lock = layout.alloc("lock", LOCK_WORDS)
+
+        # Ray geometry constants (kept in (0, grid) by construction).
+        kx = (grid - 1.0) / width
+        ky = (grid - 1.0) / height
+        z0 = 0.3
+        sz = (grid - 1.0) / steps
+        drift = 0.4 / steps
+
+        b = ProgramBuilder()
+        sphr = b.int_reg("sph")
+        dirr = b.int_reg("dir")
+        idxr = b.int_reg("idx")
+        imgr = b.int_reg("img")
+        lockr = b.int_reg()
+        ctrr = b.int_reg()
+        b.li(sphr, sph_base)
+        b.li(dirr, dir_base)
+        b.li(idxr, idx_base)
+        b.li(imgr, image_base)
+        b.li(lockr, lock)
+        b.li(ctrr, row_ctr)
+        heightr = b.int_reg()
+        b.li(heightr, height)
+        gridr = b.int_reg()
+        b.li(gridr, grid)
+
+        kxf = b.fp_reg()
+        kyf = b.fp_reg()
+        szf = b.fp_reg()
+        driftf = b.fp_reg()
+        halff = b.fp_reg()
+        b.fli(kxf, kx)
+        b.fli(kyf, ky)
+        b.fli(szf, sz)
+        b.fli(driftf, drift)
+        b.fli(halff, 0.5)
+
+        row = b.int_reg("row")
+        col = b.int_reg("col")
+        x = b.fp_reg()
+        y = b.fp_reg()
+        z = b.fp_reg()
+        stepx = b.fp_reg()
+        stepy = b.fp_reg()
+        tmpf = b.fp_reg()
+        prev_cell = b.int_reg()
+        cell = b.int_reg()
+        coord = b.int_reg()
+        k = b.int_reg("k")
+        off, count = b.int_pair()
+        s = b.int_reg("s")
+        sid = b.int_reg()
+        saddr = b.int_reg()
+        cx, cy = b.fp_pair()
+        cz, r2 = b.fp_pair()
+        dxf = b.fp_reg()
+        d2 = b.fp_reg()
+        hit = b.int_reg("hit")
+        entry_addr = b.int_reg()
+
+        # ---- row dispatch loop (lock-protected critical section) ----
+        next_row = b.fresh("nextrow")
+        all_done = b.fresh("alldone")
+        b.label(next_row)
+        ticket = emit_lock_acquire(b, lockr)
+        b.lws(row, ctrr, 0)
+        rtmp = b.int_reg()
+        b.addi(rtmp, row, 1)
+        b.sws(rtmp, ctrr, 0)
+        b.release(rtmp)
+        emit_lock_release(b, lockr, ticket)
+        b.bge(row, heightr, all_done)
+
+        # ---- render one row ----
+        widthr = b.int_reg()
+        b.li(widthr, width)
+        with b.for_range(col, 0, width):
+            # origin: x = (col + 0.5)*kx + 0.5 ; y = (row + 0.5)*ky + 0.5
+            b.cvtif(x, col)
+            b.fadd(x, x, halff)
+            b.fmul(x, x, kxf)
+            b.fadd(x, x, halff)
+            b.cvtif(y, row)
+            b.fadd(y, y, halff)
+            b.fmul(y, y, kyf)
+            b.fadd(y, y, halff)
+            b.fli(z, z0)
+            # per-pixel lateral drift: ((col % 3) - 1) * drift, same for row
+            m = b.int_reg()
+            three = b.int_reg()
+            b.li(three, 3)
+            b.rem(m, col, three)
+            b.addi(m, m, -1)
+            b.cvtif(stepx, m)
+            b.fmul(stepx, stepx, driftf)
+            b.rem(m, row, three)
+            b.addi(m, m, -1)
+            b.cvtif(stepy, m)
+            b.fmul(stepy, stepy, driftf)
+            b.release(m, three)
+
+            b.li(hit, 0)
+            b.li(prev_cell, -1)
+            ray_done = b.fresh("raydone")
+            with b.for_range(k, 0, steps):
+                b.fadd(x, x, stepx)
+                b.fadd(y, y, stepy)
+                b.fadd(z, z, szf)
+                # voxel = (vz*G + vy)*G + vx
+                b.cvtfi(cell, z)
+                b.mul(cell, cell, gridr)
+                b.cvtfi(coord, y)
+                b.add(cell, cell, coord)
+                b.mul(cell, cell, gridr)
+                b.cvtfi(coord, x)
+                b.add(cell, cell, coord)
+                with b.if_cmp("ne", cell, prev_cell):
+                    b.mov(prev_cell, cell)
+                    # load the voxel's directory entry (offset, count)
+                    b.slli(entry_addr, cell, 1)
+                    b.add(entry_addr, entry_addr, dirr)
+                    b.lds(off, entry_addr, 0)
+                    with b.if_cmp("gt", count, "r0"):
+                        b.add(off, off, idxr)
+                        send = b.int_reg()
+                        b.add(send, off, count)
+                        sphere_loop = b.fresh("sphloop")
+                        sphere_done = b.fresh("sphdone")
+                        b.mov(s, off)
+                        b.label(sphere_loop)
+                        b.bge(s, send, sphere_done)
+                        b.lws(sid, s, 0)  # sphere index
+                        b.slli(saddr, sid, 2)
+                        b.add(saddr, saddr, sphr)
+                        b.lds(cx, saddr, 0)  # centre x, y
+                        b.lds(cz, saddr, 2)  # centre z, radius^2
+                        b.fsub(dxf, x, cx)
+                        b.fmul(d2, dxf, dxf)
+                        b.fsub(dxf, y, cy)
+                        b.fmul(dxf, dxf, dxf)
+                        b.fadd(d2, d2, dxf)
+                        b.fsub(dxf, z, cz)
+                        b.fmul(dxf, dxf, dxf)
+                        b.fadd(d2, d2, dxf)
+                        with b.if_cmp("le", d2, r2):
+                            b.addi(hit, sid, 1)
+                            b.j(ray_done)
+                        b.addi(s, s, 1)
+                        b.j(sphere_loop)
+                        b.label(sphere_done)
+                        b.release(send)
+            b.label(ray_done)
+            # image[row*W + col] = hit
+            paddr = b.int_reg()
+            b.mul(paddr, row, widthr)
+            b.add(paddr, paddr, col)
+            b.add(paddr, paddr, imgr)
+            b.sws(hit, paddr, 0)
+            b.release(paddr)
+        b.release(widthr)
+        b.j(next_row)
+        b.label(all_done)
+        b.halt()
+
+        expected = self._reference(
+            width, height, grid, steps, sphere_recs, directory, index_list,
+            kx, ky, z0, sz, drift,
+        )
+
+        def check(memory: List) -> None:
+            got = memory[image_base : image_base + width * height]
+            assert got == expected, (
+                "ugray: image mismatch at pixels "
+                f"{[i for i, (a, e) in enumerate(zip(got, expected)) if a != e][:8]}"
+            )
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("ugray"),
+            shared=layout.build_image(),
+            nthreads=nthreads,
+            check=check,
+            meta={"image": f"{width}x{height}", "grid": grid, "spheres": spheres},
+        )
+
+    @staticmethod
+    def _reference(
+        width, height, grid, steps, spheres, directory, index_list,
+        kx, ky, z0, sz, drift,
+    ) -> List[int]:
+        """Exact Python transliteration of the kernel (same float ops)."""
+        image = [0] * (width * height)
+        for row in range(height):
+            for col in range(width):
+                x = (float(col) + 0.5) * kx + 0.5
+                y = (float(row) + 0.5) * ky + 0.5
+                z = z0
+                stepx = float(col % 3 - 1) * drift
+                stepy = float(row % 3 - 1) * drift
+                hit = 0
+                prev_cell = -1
+                for _ in range(steps):
+                    x = x + stepx
+                    y = y + stepy
+                    z = z + sz
+                    vx, vy, vz = math.trunc(x), math.trunc(y), math.trunc(z)
+                    assert 0 <= vx < grid and 0 <= vy < grid and 0 <= vz < grid
+                    cell = (vz * grid + vy) * grid + vx
+                    if cell == prev_cell:
+                        continue
+                    prev_cell = cell
+                    off, count = directory[cell]
+                    done = False
+                    for s in range(off, off + count):
+                        sid = index_list[s]
+                        cx, cy, cz, r2 = spheres[sid]
+                        dxf = x - cx
+                        d2 = dxf * dxf
+                        dxf = y - cy
+                        d2 = d2 + dxf * dxf
+                        dxf = z - cz
+                        d2 = d2 + dxf * dxf
+                        if d2 <= r2:
+                            hit = sid + 1
+                            done = True
+                            break
+                    if done:
+                        break
+                image[row * width + col] = hit
+        return image

@@ -1,0 +1,247 @@
+"""``water`` — pairwise molecular dynamics (SPLASH-style).
+
+Paper behaviour to preserve: coordinate triples loaded together (strong
+intra-block grouping), static load balancing whose efficiency is erratic
+when the molecule count does not divide evenly among the threads
+(Figure 2's "water stands out ... 343 molecules" story), and heavy
+floating-point work between accesses.
+
+Owner-computes structure: molecules are assigned round-robin
+(``i % nthreads``).  Each iteration a thread evaluates, for every owned
+molecule *i*, the smooth pair potential against **all** other molecules
+(loading each partner's coordinates with a Load-Double plus a load — the
+natural group of two shared accesses) and accumulates the force in
+registers/local memory.  After a barrier the owner integrates its
+molecules (grouped loads, fire-and-forget stores).  No shared force
+reduction is needed, so per-thread overhead scales with the work and the
+final state is bit-exact against the Python oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import TID_REG, NTHREADS_REG
+from repro.runtime.layout import SharedLayout
+from repro.runtime.sync import emit_barrier, BARRIER_WORDS
+
+DT = 0.01
+SPRING = 0.35
+CUTOFF2 = 2.25  # interact when squared distance < 2.25
+
+
+def _reference(pos0, vel0, iterations):
+    """Exact Python oracle: same operations, same order."""
+    n = len(pos0) // 3
+    pos = list(pos0)
+    vel = list(vel0)
+    for _ in range(iterations):
+        force = [0.0] * (3 * n)
+        for i in range(n):
+            fx = fy = fz = 0.0
+            for j in range(n):
+                if j == i:
+                    continue
+                dx = pos[3 * i] - pos[3 * j]
+                dy = pos[3 * i + 1] - pos[3 * j + 1]
+                dz = pos[3 * i + 2] - pos[3 * j + 2]
+                r2 = dx * dx
+                r2 = r2 + dy * dy
+                r2 = r2 + dz * dz
+                if r2 < CUTOFF2:
+                    coef = SPRING / (r2 + 0.5)
+                    fx = fx + coef * dx
+                    fy = fy + coef * dy
+                    fz = fz + coef * dz
+            force[3 * i] = fx
+            force[3 * i + 1] = fy
+            force[3 * i + 2] = fz
+        for i in range(n):
+            for c in range(3):
+                vel[3 * i + c] = vel[3 * i + c] + force[3 * i + c] * DT
+                pos[3 * i + c] = pos[3 * i + c] + vel[3 * i + c] * DT
+    return pos, vel
+
+
+class WaterApp(AppSpec):
+    name = "water"
+    description = "pairwise molecular dynamics (paper: 343 molecules)"
+    default_size = {"molecules": 27, "iterations": 2}
+
+    def build(
+        self, nthreads: int, molecules: int = 27, iterations: int = 2
+    ) -> BuiltApp:
+        n = molecules
+        rng = np.random.default_rng(7)
+        pos0 = rng.uniform(0.0, 6.0, size=3 * n).tolist()
+        vel0 = rng.uniform(-0.1, 0.1, size=3 * n).tolist()
+
+        layout = SharedLayout()
+        # One molecule = 4 words: x, y, z, pad (Load-Double pairs align).
+        pos_base = layout.alloc("pos", 4 * n)
+        vel_base = layout.alloc("vel", 4 * n)
+        barrier = layout.alloc("barrier", BARRIER_WORDS)
+        for m in range(n):
+            for c in range(3):
+                layout.poke(pos_base + 4 * m + c, pos0[3 * m + c])
+                layout.poke(vel_base + 4 * m + c, vel0[3 * m + c])
+
+        # Local memory: per-owned-molecule force accumulators (3 words per
+        # molecule, indexed by molecule id for simplicity).
+        local_size = 3 * n
+
+        b = ProgramBuilder()
+        posr = b.int_reg("pos")
+        velr = b.int_reg("vel")
+        bar = b.int_reg()
+        b.li(posr, pos_base)
+        b.li(velr, vel_base)
+        b.li(bar, barrier)
+        nmol = b.int_reg()
+        b.li(nmol, n)
+
+        dt = b.fp_reg("dt")
+        spring = b.fp_reg()
+        half = b.fp_reg()
+        cutoff2 = b.fp_reg()
+        b.fli(dt, DT)
+        b.fli(spring, SPRING)
+        b.fli(half, 0.5)
+        b.fli(cutoff2, CUTOFF2)
+
+        it = b.int_reg("it")
+        i = b.int_reg("i")
+        j = b.int_reg("j")
+        iaddr = b.int_reg()
+        jaddr = b.int_reg()
+        il = b.int_reg()
+        xi, yi = b.fp_pair()
+        zi = b.fp_reg()
+        xj, yj = b.fp_pair()
+        zj = b.fp_reg()
+        dx = b.fp_reg()
+        dy = b.fp_reg()
+        dz = b.fp_reg()
+        r2 = b.fp_reg()
+        coef = b.fp_reg()
+        tmpf = b.fp_reg()
+        fx = b.fp_reg()
+        fy = b.fp_reg()
+        fz = b.fp_reg()
+
+        with b.for_range(it, 0, iterations):
+            # ---- forces on owned molecules (owner computes everything) ----
+            b.mov(i, TID_REG)
+            iloop = b.fresh("iloop")
+            iend = b.fresh("iend")
+            b.label(iloop)
+            b.bge(i, nmol, iend)
+            b.slli(iaddr, i, 2)
+            b.add(iaddr, iaddr, posr)
+            b.lds(xi, iaddr, 0)  # xi, yi in one round trip
+            b.lws(zi, iaddr, 2)
+            b.fli(fx, 0.0)
+            b.fli(fy, 0.0)
+            b.fli(fz, 0.0)
+            jloop = b.fresh("jloop")
+            jnext = b.fresh("jnext")
+            jend = b.fresh("jend")
+            b.li(j, 0)
+            b.label(jloop)
+            b.bge(j, nmol, jend)
+            b.beq(j, i, jnext)
+            b.slli(jaddr, j, 2)
+            b.add(jaddr, jaddr, posr)
+            b.lds(xj, jaddr, 0)  # the natural group of two accesses
+            b.lws(zj, jaddr, 2)
+            b.fsub(dx, xi, xj)
+            b.fsub(dy, yi, yj)
+            b.fsub(dz, zi, zj)
+            b.fmul(r2, dx, dx)
+            b.fmul(tmpf, dy, dy)
+            b.fadd(r2, r2, tmpf)
+            b.fmul(tmpf, dz, dz)
+            b.fadd(r2, r2, tmpf)
+            with b.if_cmp("lt", r2, cutoff2):
+                b.fadd(coef, r2, half)
+                b.fdiv(coef, spring, coef)
+                b.fmul(tmpf, coef, dx)
+                b.fadd(fx, fx, tmpf)
+                b.fmul(tmpf, coef, dy)
+                b.fadd(fy, fy, tmpf)
+                b.fmul(tmpf, coef, dz)
+                b.fadd(fz, fz, tmpf)
+            b.label(jnext)
+            b.addi(j, j, 1)
+            b.j(jloop)
+            b.label(jend)
+            # stash the force in private local memory until the barrier
+            b.muli(il, i, 3)
+            b.swl(fx, il, 0)
+            b.swl(fy, il, 1)
+            b.swl(fz, il, 2)
+            b.add(i, i, NTHREADS_REG)
+            b.j(iloop)
+            b.label(iend)
+            emit_barrier(b, bar, NTHREADS_REG)
+
+            # ---- integrate owned molecules ----
+            vx, vy = b.fp_pair()
+            vz = b.fp_reg()
+            b.mov(i, TID_REG)
+            gloop = b.fresh("gloop")
+            gend = b.fresh("gend")
+            b.label(gloop)
+            b.bge(i, nmol, gend)
+            b.slli(iaddr, i, 2)
+            b.add(jaddr, iaddr, velr)
+            b.lds(vx, jaddr, 0)
+            b.lws(vz, jaddr, 2)
+            b.add(iaddr, iaddr, posr)
+            b.lds(xi, iaddr, 0)
+            b.lws(zi, iaddr, 2)
+            b.muli(il, i, 3)
+            b.lwl(fx, il, 0)
+            b.lwl(fy, il, 1)
+            b.lwl(fz, il, 2)
+            for v, f, p in ((vx, fx, xi), (vy, fy, yi), (vz, fz, zi)):
+                b.fmul(tmpf, f, dt)
+                b.fadd(v, v, tmpf)
+                b.fmul(tmpf, v, dt)
+                b.fadd(p, p, tmpf)
+            b.sds(vx, jaddr, 0)
+            b.sws(vz, jaddr, 2)
+            b.sds(xi, iaddr, 0)
+            b.sws(zi, iaddr, 2)
+            b.add(i, i, NTHREADS_REG)
+            b.j(gloop)
+            b.label(gend)
+            b.release(vx, vy, vz)
+            emit_barrier(b, bar, NTHREADS_REG)
+        b.halt()
+
+        exp_pos, exp_vel = _reference(pos0, vel0, iterations)
+
+        def check(memory: List) -> None:
+            got_pos = [memory[pos_base + 4 * m + c] for m in range(n) for c in range(3)]
+            got_vel = [memory[vel_base + 4 * m + c] for m in range(n) for c in range(3)]
+            if not np.allclose(got_pos, exp_pos, rtol=1e-12, atol=1e-14):
+                worst = np.abs(np.array(got_pos) - np.array(exp_pos)).max()
+                raise AssertionError(f"water: positions off by {worst}")
+            if not np.allclose(got_vel, exp_vel, rtol=1e-12, atol=1e-14):
+                worst = np.abs(np.array(got_vel) - np.array(exp_vel)).max()
+                raise AssertionError(f"water: velocities off by {worst}")
+
+        return BuiltApp(
+            name=self.name,
+            program=b.build("water"),
+            shared=layout.build_image(),
+            nthreads=nthreads,
+            local_size=local_size,
+            check=check,
+            meta={"molecules": n, "iterations": iterations},
+        )

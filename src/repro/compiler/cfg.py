@@ -1,0 +1,92 @@
+"""Basic-block discovery and program reassembly.
+
+A *leader* is the first instruction, any branch target, or the
+instruction following a block terminator (branch, jump, or HALT).  Blocks
+never span leaders, and every label in a finalised program binds to a
+leader — which is what lets passes rearrange the instructions *inside* a
+block and then rebuild the label table from block boundaries alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BLOCK_TERMINATORS, OP_SIG, Sig
+from repro.isa.program import Program
+
+
+class BasicBlock:
+    """A straight-line run of instructions."""
+
+    def __init__(self, index: int, start: int, instructions: List[Instruction]):
+        self.index = index
+        #: Original start offset in the source program (for diagnostics).
+        self.start = start
+        self.instructions = instructions
+        #: Labels bound to this block's first instruction.
+        self.labels: List[str] = []
+
+    @property
+    def terminator(self) -> "Instruction | None":
+        """The block's final control-transfer instruction, if any."""
+        if self.instructions and self.instructions[-1].op in BLOCK_TERMINATORS:
+            return self.instructions[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock #{self.index} @{self.start} len={len(self)}>"
+
+
+def build_blocks(program: Program) -> List[BasicBlock]:
+    """Partition *program* into basic blocks (copying the instructions)."""
+    if not program.finalized:
+        raise ValueError("build_blocks requires a finalized program")
+    instructions = program.instructions
+    count = len(instructions)
+
+    leaders = {0}
+    for index, ins in enumerate(instructions):
+        if ins.op in BLOCK_TERMINATORS:
+            if index + 1 < count:
+                leaders.add(index + 1)
+            if OP_SIG[ins.op] in (Sig.BR2, Sig.JMP):
+                leaders.add(ins.target)
+    for target in program.labels.values():
+        if target < count:
+            leaders.add(target)
+
+    ordered = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for block_index, start in enumerate(ordered):
+        end = ordered[block_index + 1] if block_index + 1 < len(ordered) else count
+        body = [ins.copy() for ins in instructions[start:end]]
+        blocks.append(BasicBlock(block_index, start, body))
+
+    start_to_block: Dict[int, BasicBlock] = {block.start: block for block in blocks}
+    for label, target in program.labels.items():
+        if target >= count:
+            continue  # unused trailing label — dropped on reassembly
+        start_to_block[target].labels.append(label)
+    return blocks
+
+
+def reassemble(blocks: List[BasicBlock], name: str) -> Program:
+    """Rebuild a finalised :class:`Program` from (possibly transformed)
+    blocks, recomputing the label table from block boundaries."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for block in blocks:
+        for label in block.labels:
+            labels[label] = len(instructions)
+        instructions.extend(block.instructions)
+    for ins in instructions:
+        if OP_SIG[ins.op] in (Sig.BR2, Sig.JMP) and ins.label is None:
+            raise ValueError(
+                "reassemble requires symbolic branch targets; "
+                f"{ins.to_asm()} has none"
+            )
+    return Program(instructions, labels, name).finalize()

@@ -1,0 +1,106 @@
+"""Intra-block dependence analysis.
+
+Register dependences are exact (RAW, WAR, WAW via the def/use sets of
+:mod:`repro.isa.instruction`).  Memory dependences use the paper's
+pessimistic assumption (Section 5.1, footnote 1): *every shared store
+might conflict with every shared load* because addresses cannot be
+disambiguated at the object-code level.  Concretely:
+
+* shared accesses: load/load pairs are independent; every other pairing
+  (load/store, store/store, anything involving Fetch-and-Add) is ordered;
+* local accesses: the same rule within the local address space;
+* local and shared accesses never conflict — the ISA separates the two
+  address spaces by opcode, exactly the paper's static classification;
+* a SWITCH instruction already present in the input is a full fence for
+  shared accesses and other SWITCHes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from repro.isa.instruction import Instruction, instr_reads, instr_writes
+from repro.isa.opcodes import (
+    Op,
+    SHARED_LOADS,
+    SHARED_STORES,
+    LOCAL_LOADS,
+    LOCAL_STORES,
+)
+
+
+class MemClass(enum.Enum):
+    """Memory behaviour class of an instruction."""
+
+    NONE = "none"
+    SHARED_READ = "shared-read"
+    SHARED_WRITE = "shared-write"  # includes FAA (read-modify-write)
+    LOCAL_READ = "local-read"
+    LOCAL_WRITE = "local-write"
+    FENCE = "fence"  # pre-existing SWITCH instructions
+
+
+def mem_class(ins: Instruction) -> MemClass:
+    op = ins.op
+    if op is Op.FAA or op in SHARED_STORES:
+        return MemClass.SHARED_WRITE
+    if op in SHARED_LOADS:
+        return MemClass.SHARED_READ
+    if op in LOCAL_STORES:
+        return MemClass.LOCAL_WRITE
+    if op in LOCAL_LOADS:
+        return MemClass.LOCAL_READ
+    if op is Op.SWITCH:
+        return MemClass.FENCE
+    return MemClass.NONE
+
+
+def _mem_conflict(earlier: MemClass, later: MemClass) -> bool:
+    if earlier is MemClass.NONE or later is MemClass.NONE:
+        return False
+    if earlier is MemClass.FENCE or later is MemClass.FENCE:
+        # A fence orders all shared accesses and other fences, but not
+        # purely local traffic.
+        other = later if earlier is MemClass.FENCE else earlier
+        return other in (
+            MemClass.SHARED_READ,
+            MemClass.SHARED_WRITE,
+            MemClass.FENCE,
+        )
+    shared = (MemClass.SHARED_READ, MemClass.SHARED_WRITE)
+    if earlier in shared and later in shared:
+        return not (
+            earlier is MemClass.SHARED_READ and later is MemClass.SHARED_READ
+        )
+    local = (MemClass.LOCAL_READ, MemClass.LOCAL_WRITE)
+    if earlier in local and later in local:
+        return not (earlier is MemClass.LOCAL_READ and later is MemClass.LOCAL_READ)
+    return False
+
+
+def block_dependences(
+    instructions: Sequence[Instruction],
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Compute the dependence DAG of a straight-line instruction sequence.
+
+    Returns ``(preds, succs)``: for each position, the list of positions
+    it depends on / that depend on it.  Edges always point forward in the
+    original order (``i -> j`` implies ``i < j``).
+    """
+    count = len(instructions)
+    preds: List[List[int]] = [[] for _ in range(count)]
+    succs: List[List[int]] = [[] for _ in range(count)]
+    classes = [mem_class(ins) for ins in instructions]
+    reads = [set(instr_reads(ins)) - {0} for ins in instructions]
+    writes = [set(instr_writes(ins)) - {0} for ins in instructions]
+
+    for later in range(count):
+        for earlier in range(later):
+            raw = writes[earlier] & reads[later]
+            war = reads[earlier] & writes[later]
+            waw = writes[earlier] & writes[later]
+            if raw or war or waw or _mem_conflict(classes[earlier], classes[later]):
+                preds[later].append(earlier)
+                succs[earlier].append(later)
+    return preds, succs

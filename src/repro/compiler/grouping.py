@@ -1,0 +1,181 @@
+"""The shared-load grouping scheduler (Section 5.1).
+
+Within one basic block the scheduler reorders instructions, subject to
+the dependence DAG, so that independent shared loads sit next to each
+other, and inserts exactly one SWITCH instruction after each group.  On
+the explicit-switch machine the group's loads are all in flight when the
+SWITCH is reached, so the thread waits for the whole group at once
+instead of once per load — the paper's central idea.
+
+Grouping rules:
+
+* a load may join the current group only if no *value* (register RAW)
+  dependence connects it — even transitively through address arithmetic —
+  to a load already in the group: such a value is still in flight when
+  the group issues, so the dependent load could not compute its address;
+* memory-order edges (the pessimistic store/load aliasing of footnote 1)
+  gate *emission order* but not group membership: ordered delivery makes
+  a load issued before a same-group store's arrival read the older value,
+  which is exactly program order;
+* Fetch-and-Add is a synchronisation primitive: it always forms its own
+  group (grouping a data load behind an F&A would let the load issue
+  before the F&A completes — an acquire-semantics violation);
+* non-load instructions on a dependence path to a later load (address
+  arithmetic) are hoisted into the group region when legal, so a group
+  can keep growing — the behaviour the paper's Figure 4 shows;
+* the block terminator stays last, and ties always break in original
+  program order, keeping the schedule deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.isa.instruction import Instruction, instr_reads, instr_writes
+from repro.isa.opcodes import Op, SHARED_LOADS, BLOCK_TERMINATORS
+from repro.compiler.dependence import block_dependences
+
+
+@dataclasses.dataclass
+class GroupingReport:
+    """Static summary of what the pass did to one block or program."""
+
+    shared_loads: int = 0
+    groups: int = 0  # SWITCH instructions inserted
+    moved: int = 0  # instructions emitted out of original relative order
+
+    @property
+    def grouping_factor(self) -> float:
+        """Static shared loads per switch (>= 1.0 once loads exist)."""
+        if not self.groups:
+            return float(self.shared_loads) if self.shared_loads else 0.0
+        return self.shared_loads / self.groups
+
+    def merge(self, other: "GroupingReport") -> None:
+        self.shared_loads += other.shared_loads
+        self.groups += other.groups
+        self.moved += other.moved
+
+
+def group_block(
+    instructions: Sequence[Instruction], report: "GroupingReport | None" = None
+) -> List[Instruction]:
+    """Return a re-scheduled copy of one basic block's instructions."""
+    if report is None:
+        report = GroupingReport()
+
+    body = [ins.copy() for ins in instructions]
+    terminator = None
+    if body and body[-1].op in BLOCK_TERMINATORS:
+        terminator = body.pop()
+
+    count = len(body)
+    is_load = [ins.op in SHARED_LOADS for ins in body]
+    report.shared_loads += sum(is_load)
+    if not any(is_load):
+        if terminator is not None:
+            body.append(terminator)
+        return body
+
+    preds, succs = block_dependences(body)
+    remaining = [len(entry) for entry in preds]
+
+    # Register (value) RAW predecessors — what "in flight" taints follow.
+    reads = [set(instr_reads(ins)) - {0} for ins in body]
+    writes = [set(instr_writes(ins)) - {0} for ins in body]
+    raw_preds: List[List[int]] = [[] for _ in range(count)]
+    for later in range(count):
+        for earlier in range(later):
+            if writes[earlier] & reads[later]:
+                raw_preds[later].append(earlier)
+
+    # feeds_load[i]: i lies on a dependence path into some shared load.
+    feeds_load = [False] * count
+    stack = [i for i in range(count) if is_load[i]]
+    while stack:
+        position = stack.pop()
+        for pred in preds[position]:
+            if not feeds_load[pred]:
+                feeds_load[pred] = True
+                stack.append(pred)
+
+    emitted: List[Instruction] = []
+    done = [False] * count
+    # tainted[i]: i's value is (transitively) produced by a load of the
+    # group currently being formed, hence unavailable until the SWITCH.
+    tainted = [False] * count
+    pending = count
+
+    def ready() -> List[int]:
+        return [i for i in range(count) if not done[i] and remaining[i] == 0]
+
+    def emit(index: int, in_group: bool) -> None:
+        nonlocal pending
+        emitted.append(body[index])
+        done[index] = True
+        pending -= 1
+        for succ in succs[index]:
+            remaining[succ] -= 1
+        if in_group:
+            tainted[index] = is_load[index] or any(
+                tainted[p] for p in raw_preds[index]
+            )
+
+    def untainted(index: int) -> bool:
+        return not any(tainted[p] and done[p] for p in raw_preds[index])
+
+    while pending:
+        candidates = ready()
+        start_loads = [
+            i for i in candidates if is_load[i] and body[i].op is not Op.FAA
+        ]
+        start_faa = [i for i in candidates if body[i].op is Op.FAA]
+        if not start_loads and not start_faa:
+            # No load can start a group: emit one ready non-load,
+            # preferring load-enabling (address arithmetic) instructions.
+            enabling = [i for i in candidates if feeds_load[i]]
+            emit(min(enabling) if enabling else min(candidates), in_group=False)
+            continue
+
+        if start_faa and (not start_loads or min(start_faa) < min(start_loads)):
+            # Fetch-and-Add: a group of exactly one.
+            emit(min(start_faa), in_group=True)
+        else:
+            # Grow a load group as far as value dependences allow.
+            grew = True
+            while grew:
+                grew = False
+                for index in ready():
+                    if (
+                        is_load[index]
+                        and body[index].op is not Op.FAA
+                        and untainted(index)
+                    ):
+                        emit(index, in_group=True)
+                        grew = True
+                # Hoist ready enablers whose inputs are available now —
+                # they may ready further loads for this same group.
+                for index in ready():
+                    if (
+                        not is_load[index]
+                        and feeds_load[index]
+                        and untainted(index)
+                    ):
+                        emit(index, in_group=True)
+                        grew = True
+        switch = Instruction(Op.SWITCH)
+        switch.sync = emitted[-1].sync  # spin loads keep their spin marking
+        emitted.append(switch)
+        report.groups += 1
+        tainted = [False] * count  # the SWITCH waits for everything
+
+    if terminator is not None:
+        emitted.append(terminator)
+
+    # Count how many instructions were emitted out of their original
+    # relative order (reorganisation metric for Table 5's penalty).
+    original_rank = {id(ins): index for index, ins in enumerate(body)}
+    old_order = [original_rank[id(ins)] for ins in emitted if id(ins) in original_rank]
+    report.moved += sum(1 for a, b in zip(old_order, old_order[1:]) if b < a)
+    return emitted

@@ -1,0 +1,17 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Entry points (also exposed as the ``repro-bench`` CLI and as
+``benchmarks/bench_*.py``):
+
+* :func:`repro.harness.tables.table1` ... :func:`~repro.harness.tables.table8`
+* :func:`repro.harness.figures.figure1` ... :func:`~repro.harness.figures.figure4`
+* :func:`repro.harness.ablations.latency_sweep` and friends
+
+Each returns a rendered text block plus structured data, so tests can
+assert on the numbers and the CLI can print the table.
+"""
+
+from repro.harness.experiment import ExperimentContext
+from repro.harness.sizes import SCALES, scale_sizes
+
+__all__ = ["ExperimentContext", "SCALES", "scale_sizes"]

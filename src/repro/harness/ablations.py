@@ -1,0 +1,206 @@
+"""Ablation studies beyond the paper's tables.
+
+These probe the design choices DESIGN.md calls out:
+
+* *latency sweep* — how each model's efficiency scales as the round trip
+  grows from 50 to 400 cycles (the paper argues grouping matters *more*
+  at longer latencies);
+* *model shoot-out* — all eight taxonomy models on one application at a
+  fixed machine;
+* *switch-cost sensitivity* — what pipeline-flush cost does to the
+  switch-on-miss model (the paper's Section 3 zero-cost argument);
+* *forced-interval study* — Section 6.2's critical-section fix: turn the
+  200-cycle cap off and watch lock-heavy ugray degrade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.tablefmt import TextTable
+from repro.machine.models import SwitchModel
+from repro.harness.experiment import ExperimentContext
+
+_SWEEP_MODELS = [
+    SwitchModel.SWITCH_ON_LOAD,
+    SwitchModel.EXPLICIT_SWITCH,
+    SwitchModel.CONDITIONAL_SWITCH,
+]
+
+
+def latency_sweep(
+    ctx: ExperimentContext,
+    app_name: str = "sor",
+    latencies: List[int] = (50, 100, 200, 400),
+    level: int = 6,
+) -> Tuple[str, Dict]:
+    """Efficiency vs round-trip latency, per model, at fixed M."""
+    table = TextTable(
+        f"Ablation: {app_name} efficiency vs latency "
+        f"(P={ctx.processors}, M={level})",
+        ["model"] + [f"{lat} cy" for lat in latencies],
+    )
+    data: Dict[str, Dict[int, float]] = {}
+    for model in _SWEEP_MODELS:
+        series = {}
+        for latency in latencies:
+            result = ctx.run(
+                app_name, model, ctx.processors, level, latency=latency
+            )
+            series[latency] = ctx.efficiency(result, app_name)
+        table.add_row(
+            [model.value] + [f"{series[lat]:.2f}" for lat in latencies]
+        )
+        data[model.value] = series
+    return table.render(), data
+
+
+def model_shootout(
+    ctx: ExperimentContext, app_name: str = "sor", level: int = 6
+) -> Tuple[str, Dict]:
+    """Every taxonomy model on one application."""
+    table = TextTable(
+        f"Ablation: all switch models on {app_name} "
+        f"(P={ctx.processors}, M={level}, latency={ctx.latency})",
+        ["model", "efficiency", "mean run", "switches"],
+    )
+    data: Dict[str, Dict] = {}
+    for model in SwitchModel:
+        if model is SwitchModel.IDEAL:
+            continue
+        result = ctx.run(app_name, model, ctx.processors, level)
+        efficiency = ctx.efficiency(result, app_name)
+        table.add_row(
+            [
+                model.value,
+                f"{efficiency:.2f}",
+                f"{result.stats.mean_run_length:.1f}",
+                result.stats.switches,
+            ]
+        )
+        data[model.value] = {
+            "efficiency": efficiency,
+            "mean_run": result.stats.mean_run_length,
+            "switches": result.stats.switches,
+        }
+    return table.render(), data
+
+
+def switch_cost_sensitivity(
+    ctx: ExperimentContext,
+    app_name: str = "sor",
+    costs: List[int] = (0, 2, 4, 8, 16),
+    level: int = 6,
+) -> Tuple[str, Dict]:
+    """switch-on-miss efficiency vs pipeline-flush cost."""
+    table = TextTable(
+        f"Ablation: switch-on-miss flush cost, {app_name} "
+        f"(P={ctx.processors}, M={level})",
+        ["flush cost"] + ["efficiency"],
+    )
+    data: Dict[int, float] = {}
+    for cost in costs:
+        result = ctx.run(
+            app_name,
+            SwitchModel.SWITCH_ON_MISS,
+            ctx.processors,
+            level,
+            switch_cost=cost,
+        )
+        efficiency = ctx.efficiency(result, app_name)
+        table.add_row([f"{cost} cy", f"{efficiency:.2f}"])
+        data[cost] = efficiency
+    return table.render(), data
+
+
+def forced_interval_study(
+    ctx: ExperimentContext,
+    app_name: str = "ugray",
+    intervals: List[int] = (0, 100, 200, 400, 800),
+    level: int = 4,
+) -> Tuple[str, Dict]:
+    """Section 6.2: the forced-switch cap vs lock contention under
+    conditional-switch (interval 0 disables the mechanism)."""
+    table = TextTable(
+        f"Ablation: conditional-switch forced interval, {app_name} "
+        f"(P={ctx.processors}, M={level})",
+        ["interval", "efficiency", "forced switches"],
+    )
+    data: Dict[int, Dict] = {}
+    # Without the cap a thread spinning on cache hits can starve the lock
+    # holder forever (the very problem Section 6.2 fixes), so bound the
+    # simulation (generously: ~40x the zero-latency serial time) and
+    # report a livelock as zero efficiency.
+    budget = 40 * ctx.t1(app_name)
+    from repro.machine.simulator import SimulationTimeout
+
+    for interval in intervals:
+        try:
+            result = ctx.run(
+                app_name,
+                SwitchModel.CONDITIONAL_SWITCH,
+                ctx.processors,
+                level,
+                forced_switch_interval=interval,
+                max_cycles=budget,
+            )
+        except SimulationTimeout:
+            table.add_row([interval if interval else "off", "livelock", "-"])
+            data[interval] = {"efficiency": 0.0, "forced": None}
+            continue
+        efficiency = ctx.efficiency(result, app_name)
+        table.add_row(
+            [
+                interval if interval else "off",
+                f"{efficiency:.2f}",
+                result.stats.forced_switches,
+            ]
+        )
+        data[interval] = {
+            "efficiency": efficiency,
+            "forced": result.stats.forced_switches,
+        }
+    return table.render(), data
+
+
+def jitter_study(
+    ctx: ExperimentContext,
+    app_name: str = "sor",
+    jitters: List[int] = (0, 50, 100, 200),
+    level: int = 8,
+) -> Tuple[str, Dict]:
+    """Latency-variance robustness (beyond the paper).
+
+    The paper models a constant round trip but notes real networks have
+    "a large variance in latency"; with variance, delivery is no longer
+    ordered and round-robin scheduling is no longer provably optimal.
+    This sweep adds deterministic return-path jitter U[0, J] and watches
+    how far the constant-latency conclusions degrade.
+    """
+    table = TextTable(
+        f"Ablation: return-path latency jitter, {app_name} "
+        f"(P={ctx.processors}, M={level}, base latency {ctx.latency})",
+        ["model"] + [f"+U[0,{j}]" for j in jitters],
+    )
+    data: Dict[str, Dict[int, float]] = {}
+    for model in (SwitchModel.SWITCH_ON_LOAD, SwitchModel.EXPLICIT_SWITCH):
+        series = {}
+        for jitter in jitters:
+            result = ctx.run(
+                app_name, model, ctx.processors, level, latency_jitter=jitter
+            )
+            series[jitter] = ctx.efficiency(result, app_name)
+        table.add_row(
+            [model.value] + [f"{series[j]:.2f}" for j in jitters]
+        )
+        data[model.value] = series
+    return table.render(), data
+
+
+ALL_ABLATIONS = {
+    "latency": latency_sweep,
+    "shootout": model_shootout,
+    "switch-cost": switch_cost_sensitivity,
+    "forced-interval": forced_interval_study,
+    "jitter": jitter_study,
+}

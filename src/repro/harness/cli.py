@@ -1,0 +1,82 @@
+"""``repro-bench`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-bench table2                # run-length distributions, small scale
+    repro-bench table5 --scale medium
+    repro-bench all                   # every table and figure
+    repro-bench figure3 --processors 8
+    repro-bench ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.harness.experiment import ExperimentContext
+from repro.harness.tables import ALL_TABLES
+from repro.harness.figures import ALL_FIGURES
+from repro.harness.ablations import ALL_ABLATIONS
+
+
+def _targets() -> List[str]:
+    return (
+        sorted(ALL_TABLES)
+        + sorted(ALL_FIGURES)
+        + ["ablations", "all"]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate tables/figures from Boothe & Ranade (ISCA 1992).",
+    )
+    parser.add_argument("target", choices=_targets(), help="what to regenerate")
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium", "bench"),
+        help="problem-size scale (default: small)",
+    )
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=2,
+        help="processor count for the multithreading-level tables",
+    )
+    parser.add_argument(
+        "--latency", type=int, default=200, help="round-trip latency in cycles"
+    )
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(
+        scale=args.scale, latency=args.latency, processors=args.processors
+    )
+
+    if args.target == "all":
+        names = sorted(ALL_TABLES) + sorted(ALL_FIGURES) + list(ALL_ABLATIONS)
+    elif args.target == "ablations":
+        names = list(ALL_ABLATIONS)
+    else:
+        names = [args.target]
+
+    for name in names:
+        start = time.time()
+        if name in ALL_TABLES:
+            text, _data = ALL_TABLES[name](ctx)
+        elif name in ALL_FIGURES:
+            text, _data = ALL_FIGURES[name](ctx)
+        else:
+            text, _data = ALL_ABLATIONS[name](ctx)
+        print(text)
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Problem sizes per experiment scale.
+
+The paper's inputs (sieve of 4,000,000; 200x200 matrices; 100,000
+particles) would take days in a pure-Python instruction-level simulator,
+so every experiment runs at a scaled-down size (DESIGN.md §2).  Three
+scales are provided:
+
+* ``tiny`` — unit/integration tests (sub-second per simulation);
+* ``small`` — the default for the benchmark harness (seconds);
+* ``medium`` — closer-to-paper shapes for a longer evaluation run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+SCALES: Dict[str, Dict[str, Dict]] = {
+    "tiny": {
+        "sieve": {"limit": 600},
+        "blkmat": {"n": 8, "block": 4},
+        "sor": {"n": 8, "iterations": 2},
+        "ugray": {"width": 6, "height": 4, "grid": 4, "spheres": 5, "steps": 8},
+        "water": {"molecules": 10, "iterations": 1},
+        "locus": {"width": 12, "height": 8, "wires": 8},
+        "mp3d": {"particles": 48, "steps": 2, "cells": 4},
+    },
+    "small": {
+        "sieve": {"limit": 3000},
+        "blkmat": {"n": 24, "block": 8},
+        "sor": {"n": 20, "iterations": 3},
+        "ugray": {"width": 12, "height": 8, "grid": 5, "spheres": 10, "steps": 12},
+        "water": {"molecules": 24, "iterations": 2},
+        "locus": {"width": 24, "height": 16, "wires": 32},
+        "mp3d": {"particles": 192, "steps": 3, "cells": 4},
+    },
+    "medium": {
+        "sieve": {"limit": 8000},
+        "blkmat": {"n": 32, "block": 8},
+        "sor": {"n": 32, "iterations": 4},
+        "ugray": {"width": 16, "height": 12, "grid": 6, "spheres": 14, "steps": 14},
+        "water": {"molecules": 37, "iterations": 2},
+        "locus": {"width": 32, "height": 20, "wires": 48},
+        "mp3d": {"particles": 256, "steps": 3, "cells": 4},
+    },
+    # Calibrated so T1 is a few hundred thousand cycles per application:
+    # enough per-thread work for the 80-90% efficiency columns of the
+    # multithreading-level tables to be reachable, as in the paper.
+    "bench": {
+        "sieve": {"limit": 40000},
+        "blkmat": {"n": 32, "block": 8},
+        "sor": {"n": 64, "iterations": 4},
+        "ugray": {"width": 32, "height": 24, "grid": 6, "spheres": 14, "steps": 16},
+        "water": {"molecules": 65, "iterations": 2},
+        "locus": {"width": 48, "height": 32, "wires": 256},
+        "mp3d": {"particles": 512, "steps": 5, "cells": 4},
+    },
+}
+
+#: Paper problem sizes, for the Table 1 description column.
+PAPER_SIZES: Dict[str, str] = {
+    "sieve": "counts primes < 4,000,000",
+    "blkmat": "200 x 200 matrices",
+    "sor": "192 x 192 grid",
+    "ugray": "gears (7169 faces), 20 x 512 slice",
+    "water": "343 molecules, 2 iterations",
+    "locus": "Primary2 (1250 cells x 20 channels)",
+    "mp3d": "100,000 particles, 10 iterations",
+}
+
+
+def scale_sizes(scale: str) -> Dict[str, Dict]:
+    """Sizes for every application at *scale*."""
+    try:
+        return SCALES[scale]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise KeyError(f"unknown scale {scale!r} (known: {known})") from None

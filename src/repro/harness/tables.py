@@ -1,0 +1,266 @@
+"""Generators for every table in the paper's evaluation.
+
+Each ``tableN`` function returns ``(text, data)``: a rendered text block
+(what the CLI and the benchmark harness print) and the structured numbers
+(what the tests assert on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.runlength import run_length_row, format_row_cells, RUN_BIN_LABELS
+from repro.analysis.tablefmt import TextTable
+from repro.apps.registry import get_app
+from repro.compiler.passes import grouping_report, prepare_for_model
+from repro.machine.models import SwitchModel
+from repro.harness.experiment import ExperimentContext
+from repro.harness.sizes import PAPER_SIZES
+
+#: Multithreading level used when measuring run-length distributions and
+#: bandwidth (a representative mid-scale machine).
+_DIST_LEVEL = 4
+_EFF_HEADERS = ["application", "50%", "60%", "70%", "80%", "90%"]
+
+
+def _fmt_level(value) -> str:
+    return "-" if value is None else str(value)
+
+
+def table1(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Application inventory: static size, single-processor cycles."""
+    table = TextTable(
+        f"Table 1: parallel applications (scale={ctx.scale!r})",
+        ["application", "instrs", "cycles", "problem size (ours)", "paper size"],
+    )
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        app = spec.build(1, **ctx.size_of(spec.name))
+        cycles = ctx.t1(spec.name)
+        size_text = ", ".join(f"{k}={v}" for k, v in ctx.size_of(spec.name).items())
+        table.add_row(
+            [spec.name, len(app.program), cycles, size_text, PAPER_SIZES[spec.name]]
+        )
+        data[spec.name] = {"instructions": len(app.program), "cycles": cycles}
+    return table.render(), data
+
+
+def table2(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Run-length distributions under switch-on-load."""
+    return _run_length_table(
+        ctx,
+        SwitchModel.SWITCH_ON_LOAD,
+        "Table 2: switch-on-load run lengths (cycles between switches)",
+    )
+
+
+def _run_length_table(
+    ctx: ExperimentContext, model: SwitchModel, title: str
+) -> Tuple[str, Dict]:
+    headers = ["application"] + RUN_BIN_LABELS + ["mean"]
+    if model is SwitchModel.EXPLICIT_SWITCH:
+        headers.append("grouping")
+    table = TextTable(title, headers)
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        result = ctx.run(spec.name, model, ctx.processors, _DIST_LEVEL)
+        row = run_length_row(result.stats)
+        cells = [spec.name] + format_row_cells(row)
+        if model is SwitchModel.EXPLICIT_SWITCH:
+            row["grouping"] = result.stats.grouping_factor()
+            cells.append(f"{row['grouping']:.2f}")
+        table.add_row(cells)
+        data[spec.name] = row
+    return table.render(), data
+
+
+def table3(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Switch-on-load: multithreading level per efficiency target."""
+    return _mt_table(
+        ctx,
+        SwitchModel.SWITCH_ON_LOAD,
+        "Table 3: switch-on-load — multithreading needed for % efficiency "
+        f"(P={ctx.processors})",
+    )
+
+
+def _mt_table(
+    ctx: ExperimentContext,
+    model: SwitchModel,
+    title: str,
+    oracle: bool = False,
+) -> Tuple[str, Dict]:
+    table = TextTable(title, _EFF_HEADERS)
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        levels = ctx.mt_levels(spec.name, model, oracle=oracle)
+        table.add_row(
+            [spec.name] + [_fmt_level(levels[t]) for t in (0.5, 0.6, 0.7, 0.8, 0.9)]
+        )
+        data[spec.name] = levels
+    return table.render(), data
+
+
+def table4(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Run-length distributions after grouping (explicit-switch)."""
+    return _run_length_table(
+        ctx,
+        SwitchModel.EXPLICIT_SWITCH,
+        "Table 4: explicit-switch run lengths after grouping",
+    )
+
+
+def table5(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Explicit-switch MT levels + reorganisation penalty."""
+    table = TextTable(
+        "Table 5: explicit-switch — multithreading needed for % efficiency "
+        f"(P={ctx.processors})",
+        _EFF_HEADERS + ["penalty"],
+    )
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        levels = ctx.mt_levels(spec.name, SwitchModel.EXPLICIT_SWITCH)
+        app = spec.build(1, **ctx.size_of(spec.name))
+        original = ctx.t1(spec.name)
+        grouped_program = prepare_for_model(
+            app.program, SwitchModel.EXPLICIT_SWITCH
+        )
+        from repro.machine.config import MachineConfig
+        from repro.runtime.loader import run_app
+
+        reorganised = run_app(
+            app,
+            MachineConfig(model=SwitchModel.IDEAL, latency=0),
+            program=grouped_program,
+        ).wall_cycles
+        penalty = (reorganised - original) / original
+        table.add_row(
+            [spec.name]
+            + [_fmt_level(levels[t]) for t in (0.5, 0.6, 0.7, 0.8, 0.9)]
+            + [f"{100 * penalty:.1f}%"]
+        )
+        data[spec.name] = {"levels": levels, "penalty": penalty}
+    return table.render(), data
+
+
+def table6(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Inter-block grouping estimate (Section 5.2's one-line cache)."""
+    table = TextTable(
+        "Table 6: explicit-switch with estimated inter-block grouping "
+        f"(P={ctx.processors})",
+        ["application", "1-line hit", "grouping", "50%", "60%", "70%", "80%", "90%"],
+    )
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        probe = ctx.run(
+            spec.name,
+            SwitchModel.EXPLICIT_SWITCH,
+            ctx.processors,
+            _DIST_LEVEL,
+            oracle=True,
+        )
+        levels = ctx.mt_levels(spec.name, SwitchModel.EXPLICIT_SWITCH, oracle=True)
+        hit = probe.stats.oracle_hit_rate
+        grouping = probe.stats.grouping_factor()
+        table.add_row(
+            [spec.name, f"{100 * hit:.0f}%", f"{grouping:.2f}"]
+            + [_fmt_level(levels[t]) for t in (0.5, 0.6, 0.7, 0.8, 0.9)]
+        )
+        data[spec.name] = {
+            "hit_rate": hit,
+            "grouping": grouping,
+            "levels": levels,
+        }
+    return table.render(), data
+
+
+def table7(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Cache hit rates and network bandwidth (Section 6.1)."""
+    table = TextTable(
+        "Table 7: per-processor network bandwidth, uncached vs cached "
+        f"(P={ctx.processors}, M={_DIST_LEVEL})",
+        [
+            "application",
+            "uncached bits/cy",
+            "hit rate",
+            "cached bits/cy",
+            "reduction",
+        ],
+    )
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        uncached = ctx.run(
+            spec.name, SwitchModel.EXPLICIT_SWITCH, ctx.processors, _DIST_LEVEL
+        )
+        cached = ctx.run(
+            spec.name, SwitchModel.CONDITIONAL_SWITCH, ctx.processors, _DIST_LEVEL
+        )
+        bw_u = uncached.stats.bandwidth_bits_per_cycle()
+        bw_c = cached.stats.bandwidth_bits_per_cycle()
+        hit = cached.stats.hit_rate
+        reduction = bw_u / bw_c if bw_c else float("inf")
+        table.add_row(
+            [
+                spec.name,
+                f"{bw_u:.2f}",
+                f"{100 * hit:.0f}%",
+                f"{bw_c:.2f}",
+                f"{reduction:.1f}x",
+            ]
+        )
+        data[spec.name] = {
+            "uncached_bits_per_cycle": bw_u,
+            "cached_bits_per_cycle": bw_c,
+            "hit_rate": hit,
+        }
+    return table.render(), data
+
+
+def table8(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Conditional-switch MT levels (cached machine)."""
+    return _mt_table(
+        ctx,
+        SwitchModel.CONDITIONAL_SWITCH,
+        "Table 8: conditional-switch — multithreading needed for % efficiency "
+        f"(P={ctx.processors})",
+    )
+
+
+def grouping_static_table(ctx: ExperimentContext) -> Tuple[str, Dict]:
+    """Supplementary: static post-processor statistics per application."""
+    table = TextTable(
+        "Static grouping statistics (Section 5.1 post-processor)",
+        ["application", "shared loads", "groups", "static factor", "moved"],
+    )
+    data: Dict[str, Dict] = {}
+    for spec in ctx.apps():
+        app = spec.build(1, **ctx.size_of(spec.name))
+        report = grouping_report(app.program)
+        table.add_row(
+            [
+                spec.name,
+                report.shared_loads,
+                report.groups,
+                f"{report.grouping_factor:.2f}",
+                report.moved,
+            ]
+        )
+        data[spec.name] = {
+            "loads": report.shared_loads,
+            "groups": report.groups,
+            "factor": report.grouping_factor,
+        }
+    return table.render(), data
+
+
+ALL_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "grouping": grouping_static_table,
+}

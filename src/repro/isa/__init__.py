@@ -1,0 +1,73 @@
+"""Instruction set architecture for the simulated multiprocessor.
+
+The ISA follows the paper's machine model: a MIPS-R3000-like RISC core
+extended with multiprocessor instructions — local and shared variants of
+every load and store, Load-Double / Store-Double, Fetch-and-Add, and an
+explicit SWITCH (context switch) instruction.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Op` — opcode enumeration plus metadata tables
+  (cycle costs, operand signatures, shared/local classification).
+* :class:`~repro.isa.instruction.Instruction` — one decoded instruction.
+* :class:`~repro.isa.program.Program` — an instruction sequence with
+  resolved labels.
+* :class:`~repro.isa.assembler.assemble` / ``disassemble`` — text format.
+* :class:`~repro.isa.builder.ProgramBuilder` — a structured Python DSL used
+  to author the benchmark applications.
+"""
+
+from repro.isa.opcodes import (
+    Op,
+    Sig,
+    CYCLE_COST,
+    OP_SIG,
+    SHARED_LOADS,
+    SHARED_STORES,
+    LOCAL_LOADS,
+    LOCAL_STORES,
+    BRANCHES,
+    is_shared_access,
+    instruction_cost,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_REGS,
+    ZERO_REG,
+    reg_index,
+    reg_name,
+)
+from repro.isa.instruction import Instruction, instr_reads, instr_writes
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, disassemble, AssemblerError
+from repro.isa.builder import ProgramBuilder, BuilderError
+
+__all__ = [
+    "Op",
+    "Sig",
+    "CYCLE_COST",
+    "OP_SIG",
+    "SHARED_LOADS",
+    "SHARED_STORES",
+    "LOCAL_LOADS",
+    "LOCAL_STORES",
+    "BRANCHES",
+    "is_shared_access",
+    "instruction_cost",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_REGS",
+    "ZERO_REG",
+    "reg_index",
+    "reg_name",
+    "Instruction",
+    "instr_reads",
+    "instr_writes",
+    "Program",
+    "assemble",
+    "disassemble",
+    "AssemblerError",
+    "ProgramBuilder",
+    "BuilderError",
+]

@@ -1,0 +1,210 @@
+"""Two-pass textual assembler and disassembler.
+
+Syntax example::
+
+    ; spin on a lock word
+    start:
+        li      r8, 1
+    spin:
+        faa     r9, 0(r10), r8      ; fetch-and-add
+        beq     r9, r0, got_it
+        sub     r11, r0, r8
+        faa     r9, 0(r10), r11     ; undo
+        j       spin
+    got_it:
+        switch
+        halt
+
+Comments start with ``;`` or ``#``.  Labels end with ``:`` and may share a
+line with an instruction.  Immediates may be decimal, hex (``0x..``) or,
+for ``fli``, floating point.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OP_SIG, Sig
+from repro.isa.program import Program
+from repro.isa.registers import reg_index
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+_MEM_RE = re.compile(r"^(-?[0-9xXa-fA-F]+)?\(([A-Za-z0-9]+)\)$")
+
+
+class AssemblerError(Exception):
+    """Raised on any syntax or semantic error, with a line number."""
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad integer {token!r}") from None
+
+
+def _parse_imm(token: str, line_no: int, allow_float: bool) -> "int | float":
+    if allow_float:
+        try:
+            return int(token, 0)
+        except ValueError:
+            try:
+                return float(token)
+            except ValueError:
+                raise AssemblerError(
+                    f"line {line_no}: bad immediate {token!r}"
+                ) from None
+    return _parse_int(token, line_no)
+
+
+def _parse_mem(token: str, line_no: int) -> Tuple[int, int]:
+    """Parse ``imm(reg)`` into ``(imm, reg_slot)``."""
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblerError(f"line {line_no}: bad memory operand {token!r}")
+    displacement = int(match.group(1), 0) if match.group(1) else 0
+    try:
+        base = reg_index(match.group(2))
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: {exc}") from None
+    return displacement, base
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    try:
+        return reg_index(token)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: {exc}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble *text* into a finalised :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        sync = "sync" in raw.split(";", 1)[1] if ";" in raw else False
+        while line:
+            if ":" in line:
+                head, _, tail = line.partition(":")
+                if _LABEL_RE.match(head.strip()) and "," not in head:
+                    label = head.strip()
+                    if label in labels:
+                        raise AssemblerError(
+                            f"line {line_no}: duplicate label {label!r}"
+                        )
+                    labels[label] = len(instructions)
+                    line = tail.strip()
+                    continue
+            break
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise AssemblerError(
+                f"line {line_no}: unknown mnemonic {mnemonic!r}"
+            ) from None
+
+        operands = _split_operands(rest)
+        ins = _decode_operands(op, operands, line_no)
+        ins.sync = sync
+        instructions.append(ins)
+
+    return Program(instructions, labels, name=name).finalize()
+
+
+def _decode_operands(op: Op, operands: List[str], line_no: int) -> Instruction:
+    sig = OP_SIG[op]
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"line {line_no}: {op.name.lower()} expects {count} operands "
+                f"({sig.value}), got {len(operands)}"
+            )
+
+    if sig is Sig.R3:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+            rs2=_parse_reg(operands[2], line_no),
+        )
+    if sig is Sig.R2I:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+            imm=_parse_int(operands[2], line_no),
+        )
+    if sig is Sig.R2:
+        need(2)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+        )
+    if sig is Sig.RI:
+        need(2)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], line_no),
+            imm=_parse_imm(operands[1], line_no, allow_float=op is Op.FLI),
+        )
+    if sig is Sig.LOAD:
+        need(2)
+        displacement, base = _parse_mem(operands[1], line_no)
+        return Instruction(
+            op, rd=_parse_reg(operands[0], line_no), rs1=base, imm=displacement
+        )
+    if sig is Sig.STORE:
+        need(2)
+        displacement, base = _parse_mem(operands[1], line_no)
+        return Instruction(
+            op, rs2=_parse_reg(operands[0], line_no), rs1=base, imm=displacement
+        )
+    if sig is Sig.BR2:
+        need(3)
+        return Instruction(
+            op,
+            rs1=_parse_reg(operands[0], line_no),
+            rs2=_parse_reg(operands[1], line_no),
+            label=operands[2],
+        )
+    if sig is Sig.JMP:
+        need(1)
+        return Instruction(op, label=operands[0])
+    if sig is Sig.JREG:
+        need(1)
+        return Instruction(op, rs1=_parse_reg(operands[0], line_no))
+    if sig is Sig.FAA:
+        need(3)
+        displacement, base = _parse_mem(operands[1], line_no)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=base,
+            rs2=_parse_reg(operands[2], line_no),
+            imm=displacement,
+        )
+    need(0)
+    return Instruction(op)
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as text (inverse of :func:`assemble`)."""
+    return program.to_asm()

@@ -1,0 +1,152 @@
+"""The :class:`Instruction` container and register-level def/use queries.
+
+Instructions are mutable only until the owning :class:`~repro.isa.program.
+Program` is finalised; the simulator treats them as read-only.  For
+interpreter speed every operand is a plain attribute (``__slots__``) and the
+opcode is stored as an :class:`~repro.isa.opcodes.Op` (an ``IntEnum``, so
+comparisons against hoisted ints are cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import Op, OP_SIG, Sig, DOUBLE_ACCESSES
+from repro.isa.registers import reg_name, LINK_REG
+
+
+class Instruction:
+    """One decoded instruction.
+
+    Operand meaning depends on the opcode's :class:`~repro.isa.opcodes.Sig`:
+
+    * ``rd`` — destination register slot (loads, ALU, FAA).
+    * ``rs1`` — first source; for memory ops the address base register.
+    * ``rs2`` — second source; for stores the value register, for FAA the
+      addend register.
+    * ``imm`` — immediate / address displacement (int or float for ``FLI``).
+    * ``label`` — symbolic branch target, resolved to ``target`` (an
+      instruction index) by ``Program.finalize``.
+    * ``sync`` — marks instructions generated for spin-synchronisation;
+      their network messages are excluded from the bandwidth accounting,
+      as in the paper (Section 6.1, footnote 2).
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "label", "target", "sync", "cost")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: "int | float" = 0,
+        label: Optional[str] = None,
+        sync: bool = False,
+    ):
+        from repro.isa.opcodes import instruction_cost
+
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.label = label
+        self.target: int = -1
+        self.sync = sync
+        self.cost = instruction_cost(op)
+
+    def copy(self) -> "Instruction":
+        """Deep-enough copy (used by compiler passes)."""
+        dup = Instruction(
+            self.op, self.rd, self.rs1, self.rs2, self.imm, self.label, self.sync
+        )
+        dup.target = self.target
+        return dup
+
+    def to_asm(self) -> str:
+        """Render in the textual assembly syntax accepted by
+        :func:`repro.isa.assembler.assemble`."""
+        mnemonic = self.op.name.lower()
+        sig = OP_SIG[self.op]
+        if sig is Sig.R3:
+            body = f"{reg_name(self.rd)}, {reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        elif sig is Sig.R2I:
+            body = f"{reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        elif sig is Sig.R2:
+            body = f"{reg_name(self.rd)}, {reg_name(self.rs1)}"
+        elif sig is Sig.RI:
+            body = f"{reg_name(self.rd)}, {self.imm}"
+        elif sig is Sig.LOAD:
+            body = f"{reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        elif sig is Sig.STORE:
+            body = f"{reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        elif sig is Sig.BR2:
+            target = self.label if self.label is not None else f"@{self.target}"
+            body = f"{reg_name(self.rs1)}, {reg_name(self.rs2)}, {target}"
+        elif sig is Sig.JMP:
+            body = self.label if self.label is not None else f"@{self.target}"
+        elif sig is Sig.JREG:
+            body = reg_name(self.rs1)
+        elif sig is Sig.FAA:
+            body = (
+                f"{reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)}), "
+                f"{reg_name(self.rs2)}"
+            )
+        else:
+            body = ""
+        text = f"{mnemonic:<7s} {body}".rstrip()
+        if self.sync:
+            text += "  ; sync"
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {self.to_asm()}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.rd == other.rd
+            and self.rs1 == other.rs1
+            and self.rs2 == other.rs2
+            and self.imm == other.imm
+            and self.label == other.label
+            and self.sync == other.sync
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm, self.label))
+
+
+def instr_reads(ins: Instruction) -> Tuple[int, ...]:
+    """Register slots read by *ins* (for dependence analysis)."""
+    sig = OP_SIG[ins.op]
+    if sig is Sig.R3:
+        return (ins.rs1, ins.rs2)
+    if sig in (Sig.R2I, Sig.R2, Sig.LOAD, Sig.JREG):
+        return (ins.rs1,)
+    if sig is Sig.STORE:
+        if ins.op in DOUBLE_ACCESSES:
+            return (ins.rs1, ins.rs2, ins.rs2 + 1)
+        return (ins.rs1, ins.rs2)
+    if sig is Sig.BR2:
+        return (ins.rs1, ins.rs2)
+    if sig is Sig.FAA:
+        return (ins.rs1, ins.rs2)
+    return ()
+
+
+def instr_writes(ins: Instruction) -> Tuple[int, ...]:
+    """Register slots written by *ins*."""
+    sig = OP_SIG[ins.op]
+    if sig in (Sig.R3, Sig.R2I, Sig.R2, Sig.RI, Sig.FAA):
+        return (ins.rd,)
+    if sig is Sig.LOAD:
+        if ins.op in DOUBLE_ACCESSES:
+            return (ins.rd, ins.rd + 1)
+        return (ins.rd,)
+    if ins.op is Op.JAL:
+        return (LINK_REG,)
+    return ()

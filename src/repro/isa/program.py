@@ -1,0 +1,122 @@
+"""The :class:`Program` container: instructions plus resolved labels.
+
+A program is the unit the compiler passes transform and the simulator
+executes.  All threads of an application run the *same* program (SPMD), as
+is typical for the Sequent-style C codes the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OP_SIG, Sig, SHARED_LOADS, SHARED_STORES
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, missing HALT...)."""
+
+
+class Program:
+    """An ordered instruction list with a label table.
+
+    ``finalize`` resolves symbolic branch targets into instruction indices
+    and validates the program; the simulator only accepts finalised
+    programs.
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        name: str = "program",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.name = name
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def finalize(self) -> "Program":
+        """Resolve labels, validate, and freeze the program.
+
+        Returns ``self`` for chaining.
+        """
+        for index, ins in enumerate(self.instructions):
+            sig = OP_SIG[ins.op]
+            if sig in (Sig.BR2, Sig.JMP):
+                if ins.label is not None:
+                    if ins.label not in self.labels:
+                        raise ProgramError(
+                            f"instruction {index} ({ins.to_asm()}): "
+                            f"undefined label {ins.label!r}"
+                        )
+                    ins.target = self.labels[ins.label]
+                if not 0 <= ins.target < len(self.instructions):
+                    raise ProgramError(
+                        f"instruction {index} ({ins.to_asm()}): "
+                        f"branch target {ins.target} out of range"
+                    )
+        if not any(ins.op is Op.HALT for ins in self.instructions):
+            raise ProgramError("program has no HALT instruction")
+        self._finalized = True
+        return self
+
+    def copy(self, name: Optional[str] = None) -> "Program":
+        """Deep copy (compiler passes transform copies, never originals)."""
+        dup = Program(
+            [ins.copy() for ins in self.instructions],
+            dict(self.labels),
+            name or self.name,
+        )
+        if self._finalized:
+            dup.finalize()
+        return dup
+
+    # -- statistics helpers -------------------------------------------------
+
+    def count(self, *ops: Op) -> int:
+        """Static count of instructions whose opcode is in *ops*."""
+        wanted = set(ops)
+        return sum(1 for ins in self.instructions if ins.op in wanted)
+
+    def shared_load_count(self) -> int:
+        return sum(1 for ins in self.instructions if ins.op in SHARED_LOADS)
+
+    def shared_store_count(self) -> int:
+        return sum(1 for ins in self.instructions if ins.op in SHARED_STORES)
+
+    def switch_count(self) -> int:
+        return self.count(Op.SWITCH)
+
+    # -- rendering ----------------------------------------------------------
+
+    def to_asm(self) -> str:
+        """Textual listing (round-trips through the assembler)."""
+        label_at: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            label_at.setdefault(index, []).append(label)
+        lines: List[str] = []
+        for index, ins in enumerate(self.instructions):
+            for label in sorted(label_at.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {ins.to_asm()}")
+        # Labels that point one past the end (e.g. loop exits at EOF).
+        for label in sorted(label_at.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name!r}, {len(self.instructions)} instructions>"

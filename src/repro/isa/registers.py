@@ -1,0 +1,81 @@
+"""Register file layout and naming.
+
+Each thread owns 32 integer registers (``r0``..``r31``) and 32
+floating-point registers (``f0``..``f31``), exactly as in the paper's
+machine model.  Internally both files live in one 64-slot array: integer
+register *n* is slot *n*, floating-point register *n* is slot ``32 + n``.
+
+Software conventions used by the runtime and the applications:
+
+========  ==================================================
+register  role
+========  ==================================================
+``r0``    hard-wired zero
+``r4``    thread id (set by the loader before the thread runs)
+``r5``    total number of threads
+``r6``    base address of the shared argument block
+``r29``   local stack/scratch base (``sp``)
+``r31``   link register (written by ``JAL``)
+========  ==================================================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+ZERO_REG = 0
+TID_REG = 4
+NTHREADS_REG = 5
+ARGS_REG = 6
+SP_REG = 29
+LINK_REG = 31
+
+_ALIASES = {
+    "zero": 0,
+    "tid": TID_REG,
+    "ntid": NTHREADS_REG,
+    "args": ARGS_REG,
+    "sp": SP_REG,
+    "ra": LINK_REG,
+}
+
+
+def reg_index(name: "str | int") -> int:
+    """Map a register name (``'r7'``, ``'f3'``, ``'sp'`` or a raw index)
+    to its slot in the 64-entry register array.
+
+    >>> reg_index('r7')
+    7
+    >>> reg_index('f3')
+    35
+    """
+    if isinstance(name, int):
+        if not 0 <= name < NUM_REGS:
+            raise ValueError(f"register index out of range: {name}")
+        return name
+    lowered = name.lower()
+    if lowered in _ALIASES:
+        return _ALIASES[lowered]
+    if len(lowered) >= 2 and lowered[0] in "rf" and lowered[1:].isdigit():
+        number = int(lowered[1:])
+        if lowered[0] == "r" and 0 <= number < NUM_INT_REGS:
+            return number
+        if lowered[0] == "f" and 0 <= number < NUM_FP_REGS:
+            return NUM_INT_REGS + number
+    raise ValueError(f"unknown register: {name!r}")
+
+
+def reg_name(index: int) -> str:
+    """Inverse of :func:`reg_index` (always the canonical ``rN``/``fN``)."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    if index < NUM_INT_REGS:
+        return f"r{index}"
+    return f"f{index - NUM_INT_REGS}"
+
+
+def is_fp_reg(index: int) -> bool:
+    """True for slots belonging to the floating-point file."""
+    return index >= NUM_INT_REGS

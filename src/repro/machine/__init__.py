@@ -1,0 +1,27 @@
+"""The simulated multithreaded shared-memory multiprocessor.
+
+This package implements the paper's machine model: ``P`` processors, each
+holding ``M`` hardware thread contexts scheduled round-robin, connected to
+shared memory by a network with a constant round-trip latency (200 cycles
+by default).  The context-switch policy — *when* a thread gives up the
+processor — is the experimental variable; every model from the paper's
+Figure 1 taxonomy is available in :class:`~repro.machine.models.SwitchModel`.
+"""
+
+from repro.machine.models import SwitchModel
+from repro.machine.config import MachineConfig, CacheConfig, NetworkConfig
+from repro.machine.stats import SimStats
+from repro.machine.simulator import Simulator, SimulationResult, SimulationTimeout
+from repro.machine.thread import ThreadContext
+
+__all__ = [
+    "SwitchModel",
+    "MachineConfig",
+    "CacheConfig",
+    "NetworkConfig",
+    "SimStats",
+    "Simulator",
+    "SimulationResult",
+    "SimulationTimeout",
+    "ThreadContext",
+]

@@ -1,0 +1,119 @@
+"""Machine configuration dataclasses.
+
+The defaults reproduce the paper's simulated machine: a constant 200-cycle
+round-trip latency to shared memory, ordered delivery, zero-cost context
+switches for opcode-identified switch points, and (for the cached models of
+Section 6) a per-processor shared-data cache kept coherent by a full-map
+write-invalidate directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.machine.models import SwitchModel
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Per-processor shared-data cache geometry.
+
+    The paper does not publish its main cache geometry; these defaults are
+    our documented assumption (see DESIGN.md §2).  ``line_words`` is in
+    32-bit words; the total capacity defaults to 64 sets x 4 ways x 8
+    words = 2048 words per processor.
+    """
+
+    num_sets: int = 64
+    assoc: int = 4
+    line_words: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1 or self.assoc < 1:
+            raise ValueError("cache must have at least one set and one way")
+        if self.line_words < 1 or self.line_words & (self.line_words - 1):
+            raise ValueError("line_words must be a positive power of two")
+
+    @property
+    def total_words(self) -> int:
+        return self.num_sets * self.assoc * self.line_words
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkConfig:
+    """Message-size parameters for the bandwidth accounting of Section 6.1.
+
+    The network itself is not simulated (constant latency, as in the
+    paper); these sizes only feed the bits-per-cycle bandwidth table.
+    """
+
+    header_bits: int = 32
+    addr_bits: int = 32
+    word_bits: int = 32
+    ack_bits: int = 32  # return acknowledgement for writes / invalidations
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one simulated machine."""
+
+    model: SwitchModel = SwitchModel.SWITCH_ON_LOAD
+    num_processors: int = 1
+    threads_per_processor: int = 1
+    #: Round-trip shared-memory latency in cycles; requests reach memory
+    #: after ``latency // 2`` cycles.  Ignored by the IDEAL model.
+    latency: int = 200
+    #: Wasted pipeline-flush cycles per taken switch, charged only by
+    #: models with ``pays_flush_cost`` (switch-on-miss).
+    switch_cost: int = 4
+    #: Conditional-switch: force the next SWITCH after this many cycles of
+    #: uninterrupted execution (Section 6.2's critical-section fix).
+    #: ``0`` disables the mechanism.
+    forced_switch_interval: int = 200
+    #: Maximum cycles a thread may run inside one simulation event before
+    #: the event engine re-synchronises global state (pure simulation
+    #: mechanics — costs no simulated cycles).
+    burst_limit: int = 256
+    cache: Optional[CacheConfig] = None
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    #: Section 5.2 estimator: give each thread a one-line 32-word cache;
+    #: non-sync shared loads that hit it are treated as if an inter-block
+    #: compiler had grouped them with the preceding reference (no network
+    #: transaction, no wait).  Meaningful with EXPLICIT_SWITCH, where a
+    #: SWITCH is then only taken when a real load is outstanding.
+    interblock_oracle: bool = False
+    #: Line size (words) of the estimator's one-line cache.
+    oracle_line_words: int = 32
+    #: Record a (time, processor, thread, end, outcome) event per burst
+    #: into ``Simulator.timeline`` (for the timeline tools; small runs only).
+    record_timeline: bool = False
+    #: Deterministic latency jitter: each value-returning transaction's
+    #: round trip becomes ``latency + U[0, latency_jitter]`` (a hash of
+    #: the issue time and address — reproducible).  The paper models a
+    #: constant latency but notes real networks "can also have a large
+    #: variance"; this knob probes that.  Jitter breaks ordered delivery,
+    #: under which round-robin scheduling is optimal (Section 3).
+    latency_jitter: int = 0
+    #: Safety valve: abort the simulation after this many cycles.
+    max_cycles: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("need at least one processor")
+        if self.threads_per_processor < 1:
+            raise ValueError("need at least one thread per processor")
+        if self.latency < 0 or self.latency % 2:
+            raise ValueError("latency must be a non-negative even cycle count")
+        if self.burst_limit < 1:
+            raise ValueError("burst_limit must be positive")
+        if self.model.uses_cache and self.cache is None:
+            object.__setattr__(self, "cache", CacheConfig())
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_processors * self.threads_per_processor
+
+    def replace(self, **changes) -> "MachineConfig":
+        """Convenience wrapper around :func:`dataclasses.replace`."""
+        return dataclasses.replace(self, **changes)

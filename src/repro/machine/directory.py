@@ -1,0 +1,63 @@
+"""Full-map invalidation directory at the memory side.
+
+For every cache line the directory remembers which processors hold a
+copy.  When a shared store or Fetch-and-Add reaches memory, every *other*
+holder is sent an invalidation message (counted in the bandwidth table);
+when a line-fill request arrives, the requester is added to the sharer
+set.  Because the cache is write-through there is never a dirty remote
+copy to recall, which keeps every transaction two-hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class Directory:
+    """Sharer bookkeeping for all cache lines."""
+
+    def __init__(self, num_processors: int):
+        self.num_processors = num_processors
+        self._sharers: Dict[int, Set[int]] = {}
+
+    def sharers_of(self, line: int) -> Set[int]:
+        return set(self._sharers.get(line, ()))
+
+    def add_sharer(self, line: int, proc: int) -> None:
+        self._sharers.setdefault(line, set()).add(proc)
+
+    def drop_sharer(self, line: int, proc: int) -> None:
+        """A cache silently evicted *line* (write-through lines are clean,
+        so no data moves — the directory just forgets the copy)."""
+        holders = self._sharers.get(line)
+        if holders is not None:
+            holders.discard(proc)
+            if not holders:
+                del self._sharers[line]
+
+    def invalidate_others(self, line: int, writer: int) -> List[int]:
+        """A write by *writer* reached memory: return the processors whose
+        copies must be invalidated and forget them."""
+        holders = self._sharers.get(line)
+        if not holders:
+            return []
+        victims = [proc for proc in holders if proc != writer]
+        if writer in holders:
+            self._sharers[line] = {writer}
+        else:
+            del self._sharers[line]
+        return victims
+
+    def is_shared(self, line: int) -> bool:
+        return bool(self._sharers.get(line))
+
+    def check_invariants(self) -> None:
+        """Every sharer id is a valid processor (used by property tests)."""
+        for line, holders in self._sharers.items():
+            for proc in holders:
+                if not 0 <= proc < self.num_processors:
+                    raise AssertionError(
+                        f"directory line {line}: bad sharer {proc}"
+                    )
+            if not holders:
+                raise AssertionError(f"directory line {line}: empty sharer set")

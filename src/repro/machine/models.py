@@ -1,0 +1,86 @@
+"""The multithreading model taxonomy of the paper's Figure 1.
+
+Each model answers one question: *when does a thread give up the
+processor?*
+
+===================  ========================================================
+model                context switch happens on...
+===================  ========================================================
+IDEAL                never — the paper's zero-latency upper-bound machine
+SWITCH_EVERY_CYCLE   every instruction (HEP / MASA style)
+SWITCH_ON_LOAD       every load from shared memory (Section 4 baseline)
+SWITCH_ON_USE        the first *use* of a register whose shared load is
+                     still in flight (split-phase load/use)
+EXPLICIT_SWITCH      an explicit SWITCH instruction inserted by the
+                     compiler after each group of shared loads (Section 5)
+SWITCH_ON_MISS       shared loads that miss in the cache (Weber & Gupta,
+                     ALEWIFE, DASH style; pays a pipeline-flush cost)
+SWITCH_ON_USE_MISS   a use whose datum missed and has not yet returned
+CONDITIONAL_SWITCH   a SWITCH instruction, taken only when a preceding
+                     load missed in the cache (Section 6)
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SwitchModel(enum.Enum):
+    """Context-switch policy of a multithreaded processor."""
+
+    IDEAL = "ideal"
+    SWITCH_EVERY_CYCLE = "switch-every-cycle"
+    SWITCH_ON_LOAD = "switch-on-load"
+    SWITCH_ON_USE = "switch-on-use"
+    EXPLICIT_SWITCH = "explicit-switch"
+    SWITCH_ON_MISS = "switch-on-miss"
+    SWITCH_ON_USE_MISS = "switch-on-use-miss"
+    CONDITIONAL_SWITCH = "conditional-switch"
+
+    @property
+    def uses_cache(self) -> bool:
+        """Models that place a coherent cache in front of shared memory."""
+        return self in (
+            SwitchModel.SWITCH_ON_MISS,
+            SwitchModel.SWITCH_ON_USE_MISS,
+            SwitchModel.CONDITIONAL_SWITCH,
+        )
+
+    @property
+    def wants_grouped_code(self) -> bool:
+        """Models whose code should be run through the grouping
+        post-processor (Section 5.1)."""
+        return self in (
+            SwitchModel.EXPLICIT_SWITCH,
+            SwitchModel.CONDITIONAL_SWITCH,
+            SwitchModel.SWITCH_ON_USE,
+            SwitchModel.SWITCH_ON_USE_MISS,
+        )
+
+    @property
+    def wants_switch_instructions(self) -> bool:
+        """Models that execute explicit SWITCH opcodes (others run code
+        with SWITCH stripped, or never see it)."""
+        return self in (
+            SwitchModel.EXPLICIT_SWITCH,
+            SwitchModel.CONDITIONAL_SWITCH,
+        )
+
+    @property
+    def is_split_phase(self) -> bool:
+        """Models that context switch on the *use* of an in-flight value."""
+        return self in (
+            SwitchModel.SWITCH_ON_USE,
+            SwitchModel.SWITCH_ON_USE_MISS,
+        )
+
+    @property
+    def pays_flush_cost(self) -> bool:
+        """Models that detect the switch too late in the pipeline and pay
+        ``MachineConfig.switch_cost`` wasted cycles per taken switch
+        (Section 3: miss-detected switches cancel in-flight instructions)."""
+        return self is SwitchModel.SWITCH_ON_MISS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

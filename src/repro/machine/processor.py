@@ -1,0 +1,655 @@
+"""The multithreaded processor: burst interpreter + round-robin scheduler.
+
+One :class:`Processor` holds ``M`` thread contexts and executes the current
+thread's instructions in *bursts* — sequences of cycles that end at a
+context-switch point (model dependent), at thread halt, at the engine's
+burst limit, or when the thread touches a register whose shared load is
+still in flight.
+
+Design notes for the interpreter loop (``_burst``):
+
+* Opcode dispatch is a range-partitioned if/elif chain over the
+  ``Op`` integer values (declaration order groups related opcodes), with
+  the hottest groups first.  This keeps the per-instruction overhead low
+  enough to simulate millions of instructions per experiment in pure
+  Python.
+* Run lengths, the central measured quantity of the paper, are busy
+  cycles between *taken* context switches; burst boundaries that are mere
+  simulation artifacts (burst limit, waiting for an already-arrived
+  response event) do not end a run.
+* Context switches are free (0 cycles) for opcode-identified switch
+  points (switch-on-load, explicit-switch, conditional-switch) and cost
+  ``switch_cost`` pipeline-flush cycles for switch-on-miss, as in the
+  paper's Section 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.isa.instruction import instr_reads, instr_writes
+from repro.isa.opcodes import Op
+from repro.machine.cache import Cache
+from repro.machine.models import SwitchModel
+from repro.machine.thread import ThreadContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.simulator import Simulator
+
+# Hoisted opcode integer constants (Op is an IntEnum; comparisons against
+# plain ints run at C speed).
+_ADD = Op.ADD.value
+_SUB = Op.SUB.value
+_MUL = Op.MUL.value
+_DIV = Op.DIV.value
+_REM = Op.REM.value
+_AND = Op.AND.value
+_OR = Op.OR.value
+_XOR = Op.XOR.value
+_SLL = Op.SLL.value
+_SRL = Op.SRL.value
+_SRA = Op.SRA.value
+_SLT = Op.SLT.value
+_SLE = Op.SLE.value
+_SEQ = Op.SEQ.value
+_SNE = Op.SNE.value
+_ADDI = Op.ADDI.value
+_MULI = Op.MULI.value
+_ANDI = Op.ANDI.value
+_ORI = Op.ORI.value
+_XORI = Op.XORI.value
+_SLLI = Op.SLLI.value
+_SRLI = Op.SRLI.value
+_SLTI = Op.SLTI.value
+_LI = Op.LI.value
+_MOV = Op.MOV.value
+_FADD = Op.FADD.value
+_FSUB = Op.FSUB.value
+_FMUL = Op.FMUL.value
+_FDIV = Op.FDIV.value
+_FNEG = Op.FNEG.value
+_FABS = Op.FABS.value
+_FSQRT = Op.FSQRT.value
+_FMOV = Op.FMOV.value
+_FLI = Op.FLI.value
+_FSLT = Op.FSLT.value
+_FSLE = Op.FSLE.value
+_FSEQ = Op.FSEQ.value
+_CVTIF = Op.CVTIF.value
+_CVTFI = Op.CVTFI.value
+_BEQ = Op.BEQ.value
+_BNE = Op.BNE.value
+_BLT = Op.BLT.value
+_BLE = Op.BLE.value
+_BGT = Op.BGT.value
+_BGE = Op.BGE.value
+_J = Op.J.value
+_JAL = Op.JAL.value
+_JR = Op.JR.value
+_NOP = Op.NOP.value
+_HALT = Op.HALT.value
+_LWL = Op.LWL.value
+_SWL = Op.SWL.value
+_LDL = Op.LDL.value
+_SDL = Op.SDL.value
+_LWS = Op.LWS.value
+_SWS = Op.SWS.value
+_LDS = Op.LDS.value
+_SDS = Op.SDS.value
+_FAA = Op.FAA.value
+_SWITCH = Op.SWITCH.value
+
+# Compact model codes for the interpreter.
+M_IDEAL = 0
+M_SOL = 1
+M_USE = 2
+M_EXPLICIT = 3
+M_MISS = 4
+M_USE_MISS = 5
+M_COND = 6
+M_SEC = 7
+
+_MODEL_CODES = {
+    SwitchModel.IDEAL: M_IDEAL,
+    SwitchModel.SWITCH_ON_LOAD: M_SOL,
+    SwitchModel.SWITCH_ON_USE: M_USE,
+    SwitchModel.EXPLICIT_SWITCH: M_EXPLICIT,
+    SwitchModel.SWITCH_ON_MISS: M_MISS,
+    SwitchModel.SWITCH_ON_USE_MISS: M_USE_MISS,
+    SwitchModel.CONDITIONAL_SWITCH: M_COND,
+    SwitchModel.SWITCH_EVERY_CYCLE: M_SEC,
+}
+
+# Burst outcomes.
+OUT_SWITCH = 0  # a context switch was taken: record the run, rotate threads
+OUT_PAUSE = 1  # simulation artifact: same thread continues (no switch)
+OUT_YIELD = 2  # rotate threads without a model-level switch (IDEAL fairness)
+OUT_HALT = 3
+
+
+class ExecutionError(Exception):
+    """An instruction faulted (bad address, divide by zero, ...)."""
+
+
+class Processor:
+    """One multithreaded processor."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        pid: int,
+        threads: List[ThreadContext],
+        cache: Optional[Cache],
+    ):
+        self.sim = sim
+        self.pid = pid
+        self.threads = threads
+        self.cache = cache
+        #: Outstanding line fills: line number -> install time (MSHRs).
+        self.mshr = {}
+        #: Write-combining buffer state: last written line and cycle.
+        self.wc_line = -1
+        self.wc_time = -(1 << 30)
+        self.cur = 0
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+
+        config = sim.config
+        self.model = _MODEL_CODES[config.model]
+        self.burst_limit = config.burst_limit
+        self.forced_interval = config.forced_switch_interval
+        self.switch_cost = config.switch_cost if config.model.pays_flush_cost else 0
+        self.code = sim.program.instructions
+        #: Section 5.2 estimator (list of per-thread OneLineCache or None).
+        self.oracle = sim.oracle_caches
+
+    # -- event entry points -----------------------------------------------------
+
+    def dispatch_event(self, now: int, _arg=None) -> None:
+        """Heap event: run one burst of the current thread."""
+        thread = self.threads[self.cur]
+        if self.model == M_SEC:
+            outcome, t_end = self._burst_sec(thread, now)
+        else:
+            outcome, t_end = self._burst(thread, now)
+        if self.sim.timeline is not None:
+            self.sim.timeline.append((now, self.pid, thread.tid, t_end, outcome))
+        if outcome == OUT_PAUSE:
+            self.sim.schedule(t_end, self.dispatch_event, None, priority=2)
+        else:
+            self._schedule_next(t_end)
+
+    def _schedule_next(self, t: int) -> None:
+        """Strict round-robin: advance to the next live thread and wait for
+        it if necessary (optimal under ordered delivery, Section 3)."""
+        threads = self.threads
+        count = len(threads)
+        for step in range(1, count + 1):
+            index = (self.cur + step) % count
+            thread = threads[index]
+            if thread.halted:
+                continue
+            self.cur = index
+            when = thread.resume_time
+            if when < t:
+                when = t
+            self.idle_cycles += when - t
+            self.sim.schedule(when, self.dispatch_event, None, priority=2)
+            return
+        # All threads on this processor have halted; the processor stops.
+
+    # -- the interpreter ----------------------------------------------------------
+
+    def _burst(self, thread: ThreadContext, now: int):
+        """Execute the current thread until a burst-ending condition.
+
+        Returns ``(outcome, t_end)``; updates thread and statistics.
+        """
+        sim = self.sim
+        stats = sim.stats
+        shared = sim.shared
+        code = self.code
+        regs = thread.regs
+        local = thread.local
+        inflight = thread.inflight
+        cache = self.cache
+        model = self.model
+        forced = self.forced_interval
+        pid = self.pid
+
+        t = now
+        deadline = now + self.burst_limit
+        pc = thread.pc
+        run0 = thread.run_cycles - now  # run length = run0 + t at any point
+        n_instr = 0
+
+        outcome = -1
+        resume = t
+        flush = 0
+
+        while True:
+            if t >= deadline:
+                outcome = OUT_YIELD if model == M_IDEAL else OUT_PAUSE
+                resume = t
+                break
+
+            ins = code[pc]
+            op = ins.op
+
+            # Split-phase scoreboard: does this instruction read — or
+            # overwrite (WAW) — a register whose shared load is still in
+            # flight?  Reads need the value; writes must stall so the
+            # late response cannot clobber the newer result.
+            if inflight:
+                blocked = -1
+                for reg in instr_reads(ins):
+                    ready = inflight.get(reg)
+                    if ready is not None and ready > blocked:
+                        blocked = ready
+                for reg in instr_writes(ins):
+                    ready = inflight.get(reg)
+                    if ready is not None and ready > blocked:
+                        blocked = ready
+                if blocked >= 0:
+                    if blocked <= t:
+                        # The response has arrived in simulated time but its
+                        # event is still queued: re-dispatch at t (artifact).
+                        outcome = OUT_PAUSE
+                        resume = t
+                        break
+                    # A genuine wait on an in-flight value.
+                    if model != M_USE and model != M_USE_MISS:
+                        stats.implicit_use_switches += 1
+                    outcome = OUT_SWITCH
+                    resume = blocked
+                    break
+
+            if op <= 25:  # integer ALU / LI / MOV
+                if op == _ADDI:
+                    value = regs[ins.rs1] + ins.imm
+                elif op == _ADD:
+                    value = regs[ins.rs1] + regs[ins.rs2]
+                elif op == _LI:
+                    value = ins.imm
+                elif op == _MOV:
+                    value = regs[ins.rs1]
+                elif op == _SUB:
+                    value = regs[ins.rs1] - regs[ins.rs2]
+                elif op == _SLT:
+                    value = 1 if regs[ins.rs1] < regs[ins.rs2] else 0
+                elif op == _SLE:
+                    value = 1 if regs[ins.rs1] <= regs[ins.rs2] else 0
+                elif op == _SEQ:
+                    value = 1 if regs[ins.rs1] == regs[ins.rs2] else 0
+                elif op == _SNE:
+                    value = 1 if regs[ins.rs1] != regs[ins.rs2] else 0
+                elif op == _SLTI:
+                    value = 1 if regs[ins.rs1] < ins.imm else 0
+                elif op == _MUL:
+                    value = regs[ins.rs1] * regs[ins.rs2]
+                elif op == _MULI:
+                    value = regs[ins.rs1] * ins.imm
+                elif op == _DIV or op == _REM:
+                    dividend = regs[ins.rs1]
+                    divisor = regs[ins.rs2]
+                    if divisor == 0:
+                        raise ExecutionError(
+                            f"pc={pc}: integer divide by zero ({ins.to_asm()})"
+                        )
+                    quotient = abs(dividend) // abs(divisor)
+                    if (dividend < 0) != (divisor < 0):
+                        quotient = -quotient
+                    value = (
+                        quotient if op == _DIV else dividend - quotient * divisor
+                    )
+                elif op == _AND:
+                    value = regs[ins.rs1] & regs[ins.rs2]
+                elif op == _OR:
+                    value = regs[ins.rs1] | regs[ins.rs2]
+                elif op == _XOR:
+                    value = regs[ins.rs1] ^ regs[ins.rs2]
+                elif op == _SLL:
+                    value = regs[ins.rs1] << regs[ins.rs2]
+                elif op == _SRL or op == _SRA:
+                    value = regs[ins.rs1] >> regs[ins.rs2]
+                elif op == _ANDI:
+                    value = regs[ins.rs1] & ins.imm
+                elif op == _ORI:
+                    value = regs[ins.rs1] | ins.imm
+                elif op == _XORI:
+                    value = regs[ins.rs1] ^ ins.imm
+                elif op == _SLLI:
+                    value = regs[ins.rs1] << ins.imm
+                else:  # _SRLI
+                    value = regs[ins.rs1] >> ins.imm
+                if ins.rd:
+                    regs[ins.rd] = value
+                t += ins.cost
+                pc += 1
+                n_instr += 1
+
+            elif op <= 39:  # floating point
+                if op == _FADD:
+                    value = regs[ins.rs1] + regs[ins.rs2]
+                elif op == _FSUB:
+                    value = regs[ins.rs1] - regs[ins.rs2]
+                elif op == _FMUL:
+                    value = regs[ins.rs1] * regs[ins.rs2]
+                elif op == _FDIV:
+                    divisor = regs[ins.rs2]
+                    if divisor == 0:
+                        raise ExecutionError(
+                            f"pc={pc}: float divide by zero ({ins.to_asm()})"
+                        )
+                    value = regs[ins.rs1] / divisor
+                elif op == _FNEG:
+                    value = -regs[ins.rs1]
+                elif op == _FABS:
+                    value = abs(regs[ins.rs1])
+                elif op == _FSQRT:
+                    operand = regs[ins.rs1]
+                    if operand < 0:
+                        raise ExecutionError(
+                            f"pc={pc}: sqrt of negative value ({ins.to_asm()})"
+                        )
+                    value = math.sqrt(operand)
+                elif op == _FMOV:
+                    value = regs[ins.rs1]
+                elif op == _FLI:
+                    value = ins.imm
+                elif op == _FSLT:
+                    value = 1 if regs[ins.rs1] < regs[ins.rs2] else 0
+                elif op == _FSLE:
+                    value = 1 if regs[ins.rs1] <= regs[ins.rs2] else 0
+                elif op == _FSEQ:
+                    value = 1 if regs[ins.rs1] == regs[ins.rs2] else 0
+                elif op == _CVTIF:
+                    value = float(regs[ins.rs1])
+                else:  # _CVTFI
+                    value = math.trunc(regs[ins.rs1])
+                if ins.rd:
+                    regs[ins.rd] = value
+                t += ins.cost
+                pc += 1
+                n_instr += 1
+
+            elif op <= 45:  # conditional branches
+                a = regs[ins.rs1]
+                b = regs[ins.rs2]
+                if op == _BNE:
+                    taken = a != b
+                elif op == _BEQ:
+                    taken = a == b
+                elif op == _BLT:
+                    taken = a < b
+                elif op == _BGE:
+                    taken = a >= b
+                elif op == _BLE:
+                    taken = a <= b
+                else:  # _BGT
+                    taken = a > b
+                pc = ins.target if taken else pc + 1
+                t += 1
+                n_instr += 1
+
+            elif op <= 50:  # J / JAL / JR / NOP / HALT
+                if op == _J:
+                    pc = ins.target
+                elif op == _JAL:
+                    regs[31] = pc + 1
+                    pc = ins.target
+                elif op == _JR:
+                    pc = regs[ins.rs1]
+                elif op == _NOP:
+                    pc += 1
+                else:  # _HALT
+                    outcome = OUT_HALT
+                    resume = t
+                    break
+                t += 1
+                n_instr += 1
+
+            elif op <= 54:  # local memory (serviced locally, never switches)
+                addr = regs[ins.rs1] + ins.imm
+                if op == _LWL:
+                    if ins.rd:
+                        regs[ins.rd] = local[addr]
+                elif op == _SWL:
+                    local[addr] = regs[ins.rs2]
+                elif op == _LDL:
+                    if ins.rd:
+                        regs[ins.rd] = local[addr]
+                        regs[ins.rd + 1] = local[addr + 1]
+                else:  # _SDL
+                    local[addr] = regs[ins.rs2]
+                    local[addr + 1] = regs[ins.rs2 + 1]
+                t += ins.cost
+                pc += 1
+                n_instr += 1
+
+            elif op <= 59:  # shared memory
+                addr = regs[ins.rs1] + ins.imm
+
+                if model == M_IDEAL:  # zero latency: execute eagerly
+                    if op == _LWS:
+                        if ins.rd:
+                            regs[ins.rd] = shared[addr]
+                    elif op == _SWS:
+                        shared[addr] = regs[ins.rs2]
+                    elif op == _LDS:
+                        if ins.rd:
+                            regs[ins.rd] = shared[addr]
+                            regs[ins.rd + 1] = shared[addr + 1]
+                    elif op == _SDS:
+                        shared[addr] = regs[ins.rs2]
+                        shared[addr + 1] = regs[ins.rs2 + 1]
+                    else:  # _FAA
+                        old = shared[addr]
+                        shared[addr] = old + regs[ins.rs2]
+                        if ins.rd:
+                            regs[ins.rd] = old
+                    t += ins.cost
+                    pc += 1
+                    n_instr += 1
+
+                elif op == _SWS or op == _SDS:  # fire-and-forget stores
+                    if op == _SWS:
+                        values = (regs[ins.rs2],)
+                    else:
+                        values = (regs[ins.rs2], regs[ins.rs2 + 1])
+                    if cache is not None:
+                        # Keep our own copy coherent with our own stores
+                        # (program order); remote copies — and, at apply
+                        # time, this one too — are invalidated at memory.
+                        for offset, word in enumerate(values):
+                            cache.update_if_present(addr + offset, word)
+                        # Write-combining: follow-on stores into the line
+                        # written moments ago ride the open transaction.
+                        line_words = cache.line_words
+                        first = addr // line_words
+                        last_word = (addr + len(values) - 1) // line_words
+                        combined = (
+                            first == self.wc_line
+                            and last_word == first
+                            and t - self.wc_time <= 8
+                        )
+                        self.wc_line = last_word
+                        self.wc_time = t
+                        sim.write_through(
+                            t, addr, values, pid, ins.sync, combined=combined
+                        )
+                    else:
+                        sim.mem_store(t, addr, values, ins.sync)
+                    t += ins.cost
+                    pc += 1
+                    n_instr += 1
+
+                elif op == _FAA or cache is None:  # uncached value-returning
+                    if (
+                        self.oracle is not None
+                        and op != _FAA
+                        and not ins.sync
+                        and self.oracle[thread.tid].access(addr)
+                    ):
+                        # Section 5.2 estimator: this load touches the same
+                        # line as the thread's preceding shared reference, so
+                        # an inter-block compiler could have grouped it there;
+                        # model it as already prefetched (no transaction).
+                        if ins.rd:
+                            regs[ins.rd] = shared[addr]
+                            if op == _LDS:
+                                regs[ins.rd + 1] = shared[addr + 1]
+                        t += ins.cost
+                        pc += 1
+                        n_instr += 1
+                        continue
+                    if op == _FAA:
+                        if cache is not None:
+                            # F&A mutates memory directly: drop our own copy
+                            # now so later own loads refetch (their memory
+                            # read is ordered after the F&A's apply).
+                            cache.invalidate(addr // cache.line_words)
+                        sim.mem_faa(t, addr, thread, ins.rd, regs[ins.rs2], ins.sync)
+                    else:
+                        sim.mem_load(
+                            t, addr, 2 if op == _LDS else 1, thread, ins.rd, ins.sync
+                        )
+                    t += ins.cost
+                    pc += 1
+                    n_instr += 1
+                    if model == M_SOL or (model == M_MISS and op == _FAA):
+                        outcome = OUT_SWITCH
+                        resume = thread.pending_until
+                        flush = self.switch_cost
+                        break
+                    # EXPLICIT / USE / COND / USE_MISS: keep executing; the
+                    # switch decision happens at SWITCH or at first use.
+
+                else:  # cached load (LWS / LDS)
+                    nwords = 2 if op == _LDS else 1
+                    first = cache.lookup(addr)
+                    hit = first is not None
+                    second = None
+                    if hit and nwords == 2:
+                        second = cache.lookup(addr + 1)
+                        hit = second is not None
+                    if hit:
+                        if ins.rd:
+                            regs[ins.rd] = first
+                            if nwords == 2:
+                                regs[ins.rd + 1] = second
+                        if not ins.sync:
+                            stats.cache_hits += 1
+                        t += ins.cost
+                        pc += 1
+                        n_instr += 1
+                        # Starvation guard for models without SWITCH opcodes:
+                        # force a rotation after forced_interval busy cycles.
+                        if (
+                            (model == M_MISS or model == M_USE_MISS)
+                            and forced
+                            and run0 + t >= forced
+                        ):
+                            stats.forced_switches += 1
+                            outcome = OUT_SWITCH
+                            resume = t
+                            break
+                    else:
+                        issued = sim.cached_load(
+                            t, addr, nwords, thread, ins.rd, pid, ins.sync
+                        )
+                        if not ins.sync:
+                            stats.cache_misses += 1
+                            if not issued:
+                                stats.cache_merged += 1
+                        t += ins.cost
+                        pc += 1
+                        n_instr += 1
+                        if model == M_MISS:
+                            outcome = OUT_SWITCH
+                            resume = thread.pending_until
+                            flush = self.switch_cost
+                            break
+
+            else:  # SWITCH
+                t += 1
+                pc += 1
+                n_instr += 1
+                if model == M_COND or (model == M_EXPLICIT and self.oracle is not None):
+                    # conditional-switch — or explicit-switch under the
+                    # Section 5.2 estimator, where oracle-grouped loads
+                    # leave nothing outstanding and the switch is skipped.
+                    if thread.pending_until > t:
+                        outcome = OUT_SWITCH
+                        resume = thread.pending_until
+                        break
+                    if forced and run0 + t >= forced:
+                        stats.forced_switches += 1
+                        outcome = OUT_SWITCH
+                        resume = t
+                        break
+                    stats.skipped_switches += 1
+                elif model == M_EXPLICIT or model == M_SOL or model == M_USE:
+                    outcome = OUT_SWITCH
+                    resume = thread.pending_until
+                    if resume < t:
+                        resume = t
+                    break
+                # IDEAL / MISS / USE_MISS ignore stray SWITCH opcodes.
+
+        # -- burst bookkeeping ----------------------------------------------------
+        elapsed = t - now
+        self.busy_cycles += elapsed
+        stats.busy_cycles += elapsed
+        stats.instructions += n_instr
+        thread.pc = pc
+
+        if outcome == OUT_SWITCH:
+            stats.switches += 1
+            stats.record_run(run0 + t)
+            thread.run_cycles = 0
+            thread.resume_time = resume
+            if flush:
+                stats.switch_overhead_cycles += flush
+                return OUT_SWITCH, t + flush
+            return OUT_SWITCH, t
+        if outcome == OUT_HALT:
+            stats.record_run(run0 + t)
+            thread.run_cycles = 0
+            thread.halted = True
+            thread.halt_time = t
+            sim.thread_halted(t)
+            return OUT_HALT, t
+        # PAUSE / YIELD: the run continues across the boundary.
+        thread.run_cycles = run0 + t
+        thread.resume_time = resume
+        return outcome, t
+
+    def _burst_sec(self, thread: ThreadContext, now: int):
+        """switch-every-cycle: one instruction, then rotate (HEP style).
+
+        Implemented by running the main interpreter with a one-cycle
+        deadline so exactly one instruction executes, then forcing a
+        rotation.  Shared loads behave like switch-on-load.
+        """
+        saved_limit = self.burst_limit
+        saved_model = self.model
+        self.burst_limit = 1
+        self.model = M_SOL
+        try:
+            outcome, t_end = self._burst(thread, now)
+        finally:
+            self.burst_limit = saved_limit
+            self.model = saved_model
+        if outcome == OUT_PAUSE:
+            # The single instruction completed without a model switch:
+            # convert the artificial pause into a taken rotation.
+            stats = self.sim.stats
+            stats.switches += 1
+            stats.record_run(thread.run_cycles)
+            thread.run_cycles = 0
+            thread.resume_time = t_end
+            return OUT_SWITCH, t_end
+        return outcome, t_end
+

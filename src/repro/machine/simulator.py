@@ -1,0 +1,428 @@
+"""Discrete-event simulation engine.
+
+The engine exploits the paper's machine model: processors interact *only*
+through timestamped shared-memory transactions (constant latency, ordered
+delivery), so each processor can execute a short *burst* of instructions
+as one event, and memory-side effects are applied by separate events in
+global timestamp order.  A shared load issued at cycle *t* reads memory
+when the request arrives (``t + latency/2``) and the value is usable by
+the thread at ``t + latency`` — exactly the paper's round-trip model.
+
+Event kinds:
+
+* processor dispatch — run one burst of the processor's current thread;
+* memory events — apply a load/store/Fetch-and-Add (or, on the cached
+  machine, a line fill / write-through / invalidation) at its arrival
+  time.
+
+Because bursts are bounded (``MachineConfig.burst_limit`` cycles) and all
+cross-processor communication flows through memory events, the interleaving
+error of burst-atomicity is bounded by one burst, and synchronisation
+operations (Fetch-and-Add) are always exact: they execute at the memory, in
+timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence
+
+from repro.isa.program import Program
+from repro.machine.cache import Cache
+from repro.machine.config import MachineConfig
+from repro.machine.directory import Directory
+from repro.machine.network import MsgKind
+from repro.machine.stats import SimStats
+from repro.machine.thread import ThreadContext
+
+
+class SimulationTimeout(Exception):
+    """The simulation exceeded ``MachineConfig.max_cycles`` (livelock or a
+    runaway program)."""
+
+
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    def __init__(
+        self,
+        wall_cycles: int,
+        stats: SimStats,
+        shared: List,
+        threads: List[ThreadContext],
+        config: MachineConfig,
+        program: Program,
+    ):
+        self.wall_cycles = wall_cycles
+        self.stats = stats
+        self.shared = shared
+        self.threads = threads
+        self.config = config
+        self.program = program
+
+    def efficiency(self, single_thread_cycles: int) -> float:
+        """Paper's metric: ``speedup / processors`` where speedup is
+        relative to a single zero-latency processor needing
+        *single_thread_cycles*."""
+        if not self.wall_cycles:
+            return 0.0
+        speedup = single_thread_cycles / self.wall_cycles
+        return speedup / self.config.num_processors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimulationResult wall={self.wall_cycles} "
+            f"P={self.config.num_processors} M={self.config.threads_per_processor}>"
+        )
+
+
+class Simulator:
+    """One configured machine executing one SPMD program.
+
+    *thread_registers* supplies the initial register values for each
+    thread (index = thread id); threads are assigned to processors in
+    blocks, thread ``i`` to processor ``i // threads_per_processor``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig,
+        shared: List,
+        thread_registers: Sequence[dict],
+        local_size: int = 0,
+    ):
+        if not program.finalized:
+            raise ValueError("program must be finalized before simulation")
+        if len(thread_registers) != config.total_threads:
+            raise ValueError(
+                f"need initial registers for {config.total_threads} threads, "
+                f"got {len(thread_registers)}"
+            )
+        self.program = program
+        self.config = config
+        self.shared = shared
+        line_words = config.cache.line_words if config.cache else 8
+        self.stats = SimStats(config.num_processors, config.network, line_words)
+        self.latency = config.latency
+        self.half_latency = config.latency // 2
+
+        self.threads: List[ThreadContext] = []
+        for tid, regs in enumerate(thread_registers):
+            thread = ThreadContext(tid, local_size)
+            for slot, value in regs.items():
+                thread.regs[slot] = value
+            self.threads.append(thread)
+
+        from repro.machine.processor import Processor  # circular-import guard
+        from repro.machine.cache import OneLineCache
+
+        self.directory: Optional[Directory] = None
+        if config.model.uses_cache:
+            self.directory = Directory(config.num_processors)
+
+        #: Section 5.2 estimator: one-line cache per thread.
+        self.oracle_caches = None
+        if config.interblock_oracle:
+            self.oracle_caches = [
+                OneLineCache(config.oracle_line_words) for _ in self.threads
+            ]
+
+        self.processors: List[Processor] = []
+        per = config.threads_per_processor
+        for pid in range(config.num_processors):
+            group = self.threads[pid * per : (pid + 1) * per]
+            cache = Cache(config.cache) if config.model.uses_cache else None
+            self.processors.append(Processor(self, pid, group, cache))
+
+        self._heap: List = []
+        self._seq = 0
+        self.now = 0
+        self.live_threads = len(self.threads)
+        self.last_halt_time = 0
+        #: Burst timeline (time, pid, tid, end, outcome) when enabled.
+        self.timeline: Optional[List] = [] if config.record_timeline else None
+        self._jitter_range = config.latency_jitter
+
+    # -- event plumbing -----------------------------------------------------------
+
+    def schedule(self, time: int, fn: Callable, arg, priority: int = 0) -> None:
+        """Schedule ``fn(time, arg)``.
+
+        Ties break by *priority*, then by scheduling order.  Three levels
+        keep same-cycle semantics right: memory-side events (0) land
+        before register deliveries (1), which land before processor
+        dispatches (2) — so a line fill arriving at cycle *t* feeds a
+        delivery at *t*, which is visible to a thread resuming at *t*.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, fn, arg))
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return the result."""
+        for proc in self.processors:
+            self.schedule(0, proc.dispatch_event, None)
+        max_cycles = self.config.max_cycles
+        heap = self._heap
+        while heap:
+            time, _priority, _seq, fn, arg = heapq.heappop(heap)
+            if time > max_cycles:
+                raise SimulationTimeout(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({self.live_threads} threads still live)"
+                )
+            self.now = time
+            fn(time, arg)
+        if self.live_threads:
+            raise SimulationTimeout(
+                f"event queue drained with {self.live_threads} threads "
+                "still live (deadlock)"
+            )
+        self.stats.wall_cycles = self.last_halt_time
+        for proc in self.processors:
+            self.stats.per_proc_busy[proc.pid] = proc.busy_cycles
+            self.stats.per_proc_idle[proc.pid] = proc.idle_cycles
+        if self.oracle_caches is not None:
+            self.stats.oracle_hits = sum(olc.hits for olc in self.oracle_caches)
+            self.stats.oracle_misses = sum(olc.misses for olc in self.oracle_caches)
+        return SimulationResult(
+            self.last_halt_time,
+            self.stats,
+            self.shared,
+            self.threads,
+            self.config,
+            self.program,
+        )
+
+    def thread_halted(self, time: int) -> None:
+        self.live_threads -= 1
+        self.stats.halted_threads += 1
+        if time > self.last_halt_time:
+            self.last_halt_time = time
+
+    def _jitter(self, time: int, addr: int) -> int:
+        """Deterministic return-path jitter for one transaction.
+
+        A multiplicative hash of (issue time, address) — reproducible
+        run to run, roughly uniform over [0, latency_jitter].  Only the
+        return leg is jittered; requests still reach memory in issue
+        order, so Fetch-and-Add atomicity and store ordering hold.
+        """
+        if not self._jitter_range:
+            return 0
+        h = (time * 2654435761 + addr * 2246822519 + 3266489917) & 0xFFFFFFFF
+        return (h >> 9) % (self._jitter_range + 1)
+
+    # -- uncached shared-memory transactions ------------------------------------
+
+    def mem_load(
+        self,
+        time: int,
+        addr: int,
+        nwords: int,
+        thread: ThreadContext,
+        dest: int,
+        sync: bool,
+    ) -> None:
+        """Issue an uncached shared load (LWS/LDS): the value is read at
+        memory at ``time + latency/2`` and usable at ``time + latency``."""
+        self.stats.count_message(MsgKind.READ if nwords == 1 else MsgKind.READ2, sync)
+        ready = time + self.latency + self._jitter(time, addr)
+        thread.inflight[dest] = ready
+        if nwords == 2:
+            thread.inflight[dest + 1] = ready
+        if ready > thread.pending_until:
+            thread.pending_until = ready
+        self.schedule(
+            time + self.half_latency, self._load_event, (addr, nwords, thread, dest, ready)
+        )
+
+    def _load_event(self, time: int, arg) -> None:
+        addr, nwords, thread, dest, ready = arg
+        thread.deliver(dest, self.shared[addr], ready)
+        if nwords == 2:
+            thread.deliver(dest + 1, self.shared[addr + 1], ready)
+
+    def mem_store(self, time: int, addr: int, values: tuple, sync: bool) -> None:
+        """Issue a fire-and-forget shared store (SWS/SDS)."""
+        self.stats.count_message(
+            MsgKind.WRITE if len(values) == 1 else MsgKind.WRITE2, sync
+        )
+        self.schedule(time + self.half_latency, self._store_event, (addr, values))
+
+    def _store_event(self, time: int, arg) -> None:
+        addr, values = arg
+        shared = self.shared
+        for offset, value in enumerate(values):
+            shared[addr + offset] = value
+        if self.directory is not None:
+            lines = {
+                (addr + offset) // self.config.cache.line_words
+                for offset in range(len(values))
+            }
+            for line in lines:
+                self._invalidate_sharers(time, line, writer=-1)
+
+    def mem_faa(
+        self,
+        time: int,
+        addr: int,
+        thread: ThreadContext,
+        dest: int,
+        addend,
+        sync: bool,
+    ) -> None:
+        """Fetch-and-Add: atomic at the memory module (combining network)."""
+        self.stats.count_message(MsgKind.FAA, sync)
+        ready = time + self.latency + self._jitter(time, addr)
+        thread.inflight[dest] = ready
+        if ready > thread.pending_until:
+            thread.pending_until = ready
+        self.schedule(
+            time + self.half_latency, self._faa_event, (addr, thread, dest, addend, ready)
+        )
+
+    def _faa_event(self, time: int, arg) -> None:
+        addr, thread, dest, addend, ready = arg
+        old = self.shared[addr]
+        self.shared[addr] = old + addend
+        thread.deliver(dest, old, ready)
+        if self.directory is not None:
+            line = addr // self.config.cache.line_words
+            self._invalidate_sharers(time, line, writer=-1)
+
+    # -- cached shared-memory transactions ---------------------------------------
+
+    def cached_load(
+        self,
+        time: int,
+        addr: int,
+        nwords: int,
+        thread: ThreadContext,
+        dest: int,
+        pid: int,
+        sync: bool,
+    ) -> int:
+        """Cache-missing shared load on the cached machine.
+
+        Issues a line fill for every needed line that is neither resident
+        nor already in flight; a load whose line is already being fetched
+        *merges* onto the outstanding fill (MSHR behaviour — essential
+        once grouped loads touch the same line back to back, or every
+        group member would re-fetch the line).  Returns the number of
+        fills actually issued (0 = fully merged).
+
+        The requested words are delivered to the thread when the last
+        involved line has been installed.
+        """
+        line_words = self.config.cache.line_words
+        proc = self.processors[pid]
+        lines = sorted({(addr + offset) // line_words for offset in range(nwords)})
+        ready = 0
+        issued = 0
+        for line in lines:
+            pending = proc.mshr.get(line)
+            if pending is not None:
+                ready = max(ready, pending)
+                continue
+            if proc.cache.contains(line * line_words):
+                continue
+            fill_ready = time + self.latency + self._jitter(time, line)
+            proc.mshr[line] = fill_ready
+            issued += 1
+            self.stats.count_message(MsgKind.LINE_READ, sync)
+            self.schedule(
+                time + self.half_latency,
+                self._line_read_event,
+                (line, pid, fill_ready),
+            )
+            ready = max(ready, fill_ready)
+        if ready <= time:  # resident after all (race with a fill): serve now
+            ready = time
+        thread.inflight[dest] = ready
+        if nwords == 2:
+            thread.inflight[dest + 1] = ready
+        if ready > thread.pending_until:
+            thread.pending_until = ready
+        self.schedule(
+            ready, self._cached_deliver_event, (addr, nwords, thread, dest, pid, ready),
+            priority=1,
+        )
+        return issued
+
+    def _line_read_event(self, time: int, arg) -> None:
+        line, pid, fill_ready = arg
+        line_words = self.config.cache.line_words
+        base = line * line_words
+        data = list(self.shared[base : base + line_words])
+        self.directory.add_sharer(line, pid)
+        self.schedule(fill_ready, self._line_fill_event, (line, data, pid))
+
+    def _line_fill_event(self, time: int, arg) -> None:
+        line, data, pid = arg
+        proc = self.processors[pid]
+        proc.mshr.pop(line, None)
+        if pid not in self.directory.sharers_of(line):
+            # A write invalidated this fill while it was in flight (the
+            # directory already dropped us): the data is stale, so the
+            # fill is squashed.  The requesting loads' delivery events
+            # fall back to the up-to-date memory image.
+            return
+        victim = proc.cache.install(line, data)
+        if victim is not None:
+            self.directory.drop_sharer(victim, pid)
+
+    def _cached_deliver_event(self, time: int, arg) -> None:
+        addr, nwords, thread, dest, pid, ready = arg
+        cache = self.processors[pid].cache
+        for offset in range(nwords):
+            value = cache.lookup(addr + offset)
+            if value is None:
+                # The line was evicted (or invalidated) between fill and
+                # delivery; fall back to the memory image.
+                value = self.shared[addr + offset]
+            thread.deliver(dest + offset, value, ready)
+
+    def write_through(
+        self, time: int, addr: int, values: tuple, pid: int, sync: bool,
+        combined: bool = False,
+    ) -> None:
+        """Shared store on the cached machine: update memory and
+        invalidate *every* cached copy of the line.
+
+        The writer's own processor is not spared: with a no-allocate
+        write-through cache, a concurrent fetch by a sibling thread on the
+        writer's processor can be installing a stale snapshot of the line,
+        and only an unconditional invalidation closes that window (a real
+        ownership protocol would instead serialise the write against the
+        fetch at the directory).
+        """
+        if combined:
+            for _ in values:
+                self.stats.count_message(MsgKind.WRITE_COMBINED, sync)
+        else:
+            self.stats.count_message(
+                MsgKind.WRITE_THROUGH if len(values) == 1 else MsgKind.WRITE2, sync
+            )
+        self.schedule(
+            time + self.half_latency, self._write_through_event, (addr, values)
+        )
+
+    def _write_through_event(self, time: int, arg) -> None:
+        addr, values = arg
+        shared = self.shared
+        for offset, value in enumerate(values):
+            shared[addr + offset] = value
+        line_words = self.config.cache.line_words
+        lines = {(addr + offset) // line_words for offset in range(len(values))}
+        for line in lines:
+            self._invalidate_sharers(time, line, writer=-1)
+
+    def _invalidate_sharers(self, time: int, line: int, writer: int) -> None:
+        for victim in self.directory.invalidate_others(line, writer):
+            self.stats.count_message(MsgKind.INVALIDATE, sync=False)
+            self.schedule(time + self.half_latency, self._inval_event, (line, victim))
+
+    def _inval_event(self, time: int, arg) -> None:
+        line, victim = arg
+        self.processors[victim].cache.invalidate(line)

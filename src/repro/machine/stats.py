@@ -1,0 +1,176 @@
+"""Simulation statistics: everything the paper's tables are computed from.
+
+One :class:`SimStats` instance aggregates a whole machine run.  The
+quantities mirror the paper's measurements:
+
+* **run lengths** — busy cycles between *taken* context switches
+  (Tables 2 and 4); kept as an exact ``Counter`` so any binning can be
+  derived later.
+* **switch counts** — taken, skipped (conditional-switch hits), forced
+  (the 200-cycle cap of Section 6.2) and implicit (a use of an in-flight
+  register under a model without use-switching, i.e. a grouping-pass bug).
+* **network traffic** — per-:class:`~repro.machine.network.MsgKind`
+  message counts and forward/return bits, with spin-synchronisation
+  traffic tallied separately for exclusion (Section 6.1).
+* **cache behaviour** — hits and misses for the cached models.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.machine.network import MsgKind, transaction_bits
+from repro.machine.config import NetworkConfig
+
+
+class SimStats:
+    """Mutable statistics accumulator for one simulation."""
+
+    def __init__(self, num_processors: int, network: NetworkConfig, line_words: int = 8):
+        self.num_processors = num_processors
+        self._network = network
+        self._line_words = line_words
+
+        self.instructions = 0
+        self.busy_cycles = 0
+        self.per_proc_busy: List[int] = [0] * num_processors
+        self.per_proc_idle: List[int] = [0] * num_processors
+
+        self.switches = 0
+        self.skipped_switches = 0
+        self.forced_switches = 0
+        self.implicit_use_switches = 0
+        self.switch_overhead_cycles = 0
+        self.run_lengths: Counter = Counter()
+
+        self.msg_counts: Counter = Counter()
+        self.fwd_bits = 0
+        self.ret_bits = 0
+        self.sync_msgs = 0
+        self.sync_bits = 0
+
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Subset of cache_misses that merged onto an in-flight fill
+        #: (MSHR secondary misses — they wait but move no extra bits).
+        self.cache_merged = 0
+        # Section 5.2 one-line-cache estimator counters.
+        self.oracle_hits = 0
+        self.oracle_misses = 0
+
+        self.wall_cycles = 0
+        self.halted_threads = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record_run(self, length: int) -> None:
+        """A thread just gave up the processor after *length* busy cycles."""
+        if length > 0:
+            self.run_lengths[length] += 1
+
+    def count_message(self, kind: MsgKind, sync: bool) -> None:
+        """Charge one transaction's forward+return bits."""
+        fwd, ret = transaction_bits(kind, self._network, self._line_words)
+        if sync:
+            self.sync_msgs += 1
+            self.sync_bits += fwd + ret
+            return
+        self.msg_counts[kind] += 1
+        self.fwd_bits += fwd
+        self.ret_bits += ret
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def total_runs(self) -> int:
+        return sum(self.run_lengths.values())
+
+    @property
+    def mean_run_length(self) -> float:
+        """Mean busy cycles between taken context switches."""
+        runs = self.total_runs
+        if not runs:
+            return float(self.busy_cycles)
+        total = sum(length * count for length, count in self.run_lengths.items())
+        return total / runs
+
+    def run_length_fractions(self, bins: List[int]) -> Dict[str, float]:
+        """Fraction of runs falling in each bin.
+
+        *bins* are inclusive upper bounds, e.g. ``[1, 2, 5, 10, 100]``
+        yields keys ``'1'``, ``'2'``, ``'3-5'``, ``'6-10'``, ``'11-100'``,
+        ``'>100'``.
+        """
+        runs = self.total_runs
+        result: Dict[str, float] = {}
+        lower = 1
+        for upper in bins:
+            key = str(upper) if upper == lower else f"{lower}-{upper}"
+            count = sum(
+                qty for length, qty in self.run_lengths.items() if lower <= length <= upper
+            )
+            result[key] = count / runs if runs else 0.0
+            lower = upper + 1
+        tail = sum(qty for length, qty in self.run_lengths.items() if length >= lower)
+        result[f">{bins[-1]}"] = tail / runs if runs else 0.0
+        return result
+
+    @property
+    def hit_rate(self) -> float:
+        """Shared-load cache hit rate (0.0 when no cache present)."""
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    @property
+    def oracle_hit_rate(self) -> float:
+        """One-line-cache hit rate of the Section 5.2 estimator: the
+        fraction of shared loads that an inter-block compiler could have
+        grouped with their preceding reference."""
+        accesses = self.oracle_hits + self.oracle_misses
+        return self.oracle_hits / accesses if accesses else 0.0
+
+    @property
+    def total_bits(self) -> int:
+        """Network bits moved, excluding spin-synchronisation traffic."""
+        return self.fwd_bits + self.ret_bits
+
+    def bandwidth_bits_per_cycle(self) -> float:
+        """Mean per-processor network bandwidth in bits/cycle — the
+        quantity of the paper's bandwidth table (forward + return)."""
+        if not self.wall_cycles:
+            return 0.0
+        return self.total_bits / (self.wall_cycles * self.num_processors)
+
+    def grouping_factor(self) -> float:
+        """Mean shared loads issued per taken context switch ("level of
+        grouping" in Table 4).  Uses value-returning transactions only."""
+        loads = (
+            self.msg_counts[MsgKind.READ]
+            + self.msg_counts[MsgKind.READ2]
+            + self.msg_counts[MsgKind.FAA]
+            + self.cache_hits
+            + self.cache_misses
+            + self.oracle_hits
+        )
+        if not self.switches:
+            return float(loads)
+        return loads / self.switches
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers (handy for tests/CLI)."""
+        return {
+            "instructions": self.instructions,
+            "busy_cycles": self.busy_cycles,
+            "wall_cycles": self.wall_cycles,
+            "switches": self.switches,
+            "mean_run_length": self.mean_run_length,
+            "hit_rate": self.hit_rate,
+            "bandwidth_bits_per_cycle": self.bandwidth_bits_per_cycle(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimStats wall={self.wall_cycles} busy={self.busy_cycles} "
+            f"switches={self.switches} mean_run={self.mean_run_length:.1f}>"
+        )

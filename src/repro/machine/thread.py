@@ -1,0 +1,70 @@
+"""Per-thread hardware context.
+
+A thread owns its registers (32 integer + 32 floating point, one 64-slot
+array), its private local memory, and the split-phase bookkeeping used by
+the grouping models: ``inflight`` maps a destination register to the cycle
+its shared load will return, and ``pending_until`` is the latest such
+cycle — the time the thread may resume after a taken context switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.registers import NUM_REGS
+
+
+class ThreadContext:
+    """One hardware thread context."""
+
+    __slots__ = (
+        "tid",
+        "regs",
+        "local",
+        "pc",
+        "halted",
+        "resume_time",
+        "pending_until",
+        "inflight",
+        "run_cycles",
+        "run_start",
+        "halt_time",
+    )
+
+    def __init__(self, tid: int, local_size: int = 0):
+        self.tid = tid
+        self.regs: List = [0] * NUM_REGS
+        self.local: List = [0] * local_size
+        self.pc = 0
+        self.halted = False
+        #: Earliest cycle the thread may run again after a switch.
+        self.resume_time = 0
+        #: Return time of the latest outstanding shared load.
+        self.pending_until = 0
+        #: dest register slot -> cycle its in-flight load returns.
+        self.inflight: Dict[int, int] = {}
+        #: Busy cycles since the last *taken* context switch.
+        self.run_cycles = 0
+        #: Simulated time at which the current run began (for the
+        #: conditional-switch forced-switch interval).
+        self.run_start = 0
+        self.halt_time = 0
+
+    def deliver(self, reg: int, value, ready: "int | None" = None) -> None:
+        """A shared-load response writes *reg* (called by memory events).
+
+        *ready* is the round-trip completion time of the load that issued
+        this response; the in-flight marker is only cleared when it
+        matches, so a newer load to the same register (write-after-write)
+        keeps the register marked busy until its own response lands.
+        Responses are processed in timestamp order (ordered delivery), so
+        the final register value is always the latest load's.
+        """
+        if reg != 0:  # r0 stays zero
+            self.regs[reg] = value
+        if ready is None or self.inflight.get(reg) == ready:
+            self.inflight.pop(reg, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "halted" if self.halted else f"pc={self.pc}"
+        return f"<Thread {self.tid} {state}>"

@@ -1,0 +1,40 @@
+"""Runtime support: memory layout, thread spawning, and synchronisation.
+
+The paper's applications are Sequent-style SPMD programs: a fixed set of
+processes is forked once, shared storage is allocated statically or with
+``malloc``, and locks and barriers are built from Fetch-and-Add plus
+spinning (Section 3).  This package provides the equivalents:
+
+* :class:`~repro.runtime.layout.SharedLayout` — a bump allocator for the
+  shared address space that doubles as the initial memory image;
+* :mod:`repro.runtime.sync` — code generators for ticket locks,
+  sense-counting barriers and Fetch-and-Add work counters, emitted into a
+  :class:`~repro.isa.builder.ProgramBuilder` (spin traffic carries the
+  ``sync`` mark so the bandwidth table can exclude it, as the paper does);
+* :func:`~repro.runtime.loader.make_simulator` — lay a built application
+  onto a configured machine, setting each thread's id/thread-count/
+  argument registers.
+"""
+
+from repro.runtime.layout import SharedLayout
+from repro.runtime.loader import make_simulator, run_app
+from repro.runtime.sync import (
+    emit_lock_acquire,
+    emit_lock_release,
+    emit_barrier,
+    emit_counter_next,
+    LOCK_WORDS,
+    BARRIER_WORDS,
+)
+
+__all__ = [
+    "SharedLayout",
+    "make_simulator",
+    "run_app",
+    "emit_lock_acquire",
+    "emit_lock_release",
+    "emit_barrier",
+    "emit_counter_next",
+    "LOCK_WORDS",
+    "BARRIER_WORDS",
+]

@@ -1,0 +1,83 @@
+"""Shared-memory layout: a named bump allocator plus the initial image.
+
+Applications allocate named regions (arrays, locks, barriers, scalar
+cells), optionally with initial contents, and the loader materialises the
+resulting word array as the machine's shared memory.  Addresses are word
+addresses, as everywhere in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class SharedLayout:
+    """Bump allocator over the shared address space."""
+
+    def __init__(self, align: int = 8):
+        #: Default alignment (words).  Aligning regions to the cache-line
+        #: size keeps unrelated regions from false-sharing a line.
+        self.align = align
+        self._size = 0
+        self._regions: Dict[str, tuple] = {}  # name -> (base, size)
+        self._image: Dict[int, object] = {}  # sparse initial values
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        init: "Optional[Iterable]" = None,
+        align: Optional[int] = None,
+    ) -> int:
+        """Reserve *size* words under *name*; returns the base address."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} allocated twice")
+        if size < 1:
+            raise ValueError(f"region {name!r}: size must be positive")
+        alignment = align or self.align
+        base = -(-self._size // alignment) * alignment
+        self._size = base + size
+        self._regions[name] = (base, size)
+        if init is not None:
+            values = list(init)
+            if len(values) > size:
+                raise ValueError(
+                    f"region {name!r}: {len(values)} initial values for "
+                    f"{size} words"
+                )
+            for offset, value in enumerate(values):
+                self._image[base + offset] = value
+        return base
+
+    def word(self, name: str, init=0) -> int:
+        """Allocate a single named word."""
+        return self.alloc(name, 1, [init])
+
+    def poke(self, addr: int, value) -> None:
+        """Set one word of the initial image (for structured records that
+        a flat ``init`` list cannot express conveniently)."""
+        if not 0 <= addr < self._size:
+            raise ValueError(f"poke outside allocated space: {addr}")
+        self._image[addr] = value
+
+    def base(self, name: str) -> int:
+        return self._regions[name][0]
+
+    def size_of(self, name: str) -> int:
+        return self._regions[name][1]
+
+    @property
+    def total_words(self) -> int:
+        return self._size
+
+    def build_image(self, pad: int = 0) -> List:
+        """Materialise the initial shared-memory word array."""
+        image: List = [0] * (self._size + pad)
+        for addr, value in self._image.items():
+            image[addr] = value
+        return image
+
+    def region_slice(self, memory: List, name: str) -> List:
+        """Read region *name* back out of a (final) memory image."""
+        base, size = self._regions[name]
+        return memory[base : base + size]

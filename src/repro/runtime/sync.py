@@ -1,0 +1,110 @@
+"""Synchronisation primitives built from Fetch-and-Add plus spinning.
+
+Exactly as in the paper (Section 3): the machine's only atomic primitive
+is Fetch-and-Add (combinable at memory), and locks and barriers are
+spin-built on top of it.  All spin traffic is emitted with the ``sync``
+mark, so the bandwidth accounting can exclude it the way the paper's
+footnote 2 does.
+
+Layout conventions (word offsets inside the shared region):
+
+* lock (``LOCK_WORDS`` = 2): ``[next_ticket, now_serving]`` — a fair
+  ticket lock;
+* barrier (``BARRIER_WORDS`` = 2): ``[arrival_count, generation]`` — a
+  generation-counting barrier that is immediately reusable.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder, RegLike
+
+LOCK_WORDS = 2
+BARRIER_WORDS = 2
+
+_TICKET_OFF = 0
+_SERVING_OFF = 1
+_COUNT_OFF = 0
+_GEN_OFF = 1
+
+
+def emit_lock_acquire(
+    b: ProgramBuilder, lock_base: RegLike, ticket_out: "RegLike | None" = None
+) -> int:
+    """Acquire the ticket lock whose two words start at register
+    *lock_base*.  Returns the register holding the caller's ticket, which
+    :func:`emit_lock_release` needs (pass it back via *ticket_out* to
+    reuse a caller-allocated register)."""
+    ticket = b.r(ticket_out) if ticket_out is not None else b.int_reg()
+    one = b.int_reg()
+    current = b.int_reg()
+    b.li(one, 1)
+    # Take a ticket (one combinable Fetch-and-Add).
+    b.faa(ticket, lock_base, _TICKET_OFF, one, sync=True)
+    # Spin until served.
+    spin = b.fresh("lockspin")
+    b.label(spin)
+    b.lws(current, lock_base, _SERVING_OFF, sync=True)
+    b.bne(current, ticket, spin)
+    b.release(one, current)
+    return ticket
+
+
+def emit_lock_release(
+    b: ProgramBuilder, lock_base: RegLike, ticket: RegLike, free_ticket: bool = True
+) -> None:
+    """Release the ticket lock: serve the next ticket.
+
+    The holder knows ``now_serving == ticket``, so a plain (fire-and-
+    forget) store of ``ticket + 1`` suffices — no atomic needed.
+    """
+    next_ticket = b.int_reg()
+    b.addi(next_ticket, ticket, 1)
+    b.sws(next_ticket, lock_base, _SERVING_OFF, sync=True)
+    b.release(next_ticket)
+    if free_ticket:
+        b.release(b.r(ticket))
+
+
+def emit_barrier(b: ProgramBuilder, barrier_base: RegLike, nthreads: RegLike) -> None:
+    """All *nthreads* threads meet at the barrier starting at register
+    *barrier_base*.  Reusable: a generation word flips once per episode.
+
+    The last arrival resets the count *before* bumping the generation;
+    both stores are issued in program order, and the network delivers in
+    order, so a thread released into the next episode always sees the
+    reset count.
+    """
+    generation = b.int_reg()
+    one = b.int_reg()
+    arrived = b.int_reg()
+    b.lws(generation, barrier_base, _GEN_OFF, sync=True)
+    b.li(one, 1)
+    b.faa(arrived, barrier_base, _COUNT_OFF, one, sync=True)
+    b.addi(arrived, arrived, 1)
+    with b.if_else("eq", arrived, nthreads) as arm:
+        # Last arrival: reset the count, open the next generation.
+        b.sws("r0", barrier_base, _COUNT_OFF, sync=True)
+        b.addi(generation, generation, 1)
+        b.sws(generation, barrier_base, _GEN_OFF, sync=True)
+        with arm.otherwise():
+            current = b.int_reg()
+            spin = b.fresh("barspin")
+            b.label(spin)
+            b.lws(current, barrier_base, _GEN_OFF, sync=True)
+            b.beq(current, generation, spin)
+            b.release(current)
+    b.release(generation, one, arrived)
+
+
+def emit_counter_next(
+    b: ProgramBuilder, counter_base: RegLike, out: RegLike, chunk: int = 1
+) -> None:
+    """Dynamic work distribution: ``out = fetch_and_add(counter, chunk)``.
+
+    This is real application traffic (not spinning), so it is *not*
+    marked sync.
+    """
+    step = b.int_reg()
+    b.li(step, chunk)
+    b.faa(out, counter_base, 0, step)
+    b.release(step)

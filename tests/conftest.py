@@ -1,0 +1,81 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.isa import assemble, Program
+from repro.machine import MachineConfig, SwitchModel, Simulator, SimulationResult
+
+
+def run_asm(
+    asm: str,
+    shared: Optional[List] = None,
+    model: SwitchModel = SwitchModel.IDEAL,
+    processors: int = 1,
+    threads: int = 1,
+    latency: int = 200,
+    local_size: int = 64,
+    regs: Optional[Sequence[Dict[int, object]]] = None,
+    **config_extra,
+) -> SimulationResult:
+    """Assemble and simulate a snippet; returns the SimulationResult."""
+    program = assemble(asm)
+    return run_program(
+        program,
+        shared=shared,
+        model=model,
+        processors=processors,
+        threads=threads,
+        latency=latency,
+        local_size=local_size,
+        regs=regs,
+        **config_extra,
+    )
+
+
+def run_program(
+    program: Program,
+    shared: Optional[List] = None,
+    model: SwitchModel = SwitchModel.IDEAL,
+    processors: int = 1,
+    threads: int = 1,
+    latency: int = 200,
+    local_size: int = 64,
+    regs: Optional[Sequence[Dict[int, object]]] = None,
+    **config_extra,
+) -> SimulationResult:
+    if model is SwitchModel.IDEAL:
+        latency = 0
+    config_extra.setdefault("max_cycles", 50_000_000)
+    config = MachineConfig(
+        model=model,
+        num_processors=processors,
+        threads_per_processor=threads,
+        latency=latency,
+        **config_extra,
+    )
+    total = config.total_threads
+    thread_regs = list(regs) if regs is not None else [{} for _ in range(total)]
+    for tid, reg_map in enumerate(thread_regs):
+        reg_map.setdefault(4, tid)
+        reg_map.setdefault(5, total)
+    sim = Simulator(
+        program,
+        config,
+        list(shared) if shared is not None else [0] * 64,
+        thread_regs,
+        local_size=local_size,
+    )
+    return sim.run()
+
+
+@pytest.fixture
+def tiny_shared() -> List:
+    return list(range(16)) + [0] * 48
+
+
+ALL_MODELS = list(SwitchModel)
+NONIDEAL_MODELS = [m for m in SwitchModel if m is not SwitchModel.IDEAL]

@@ -1,0 +1,193 @@
+"""Application correctness and characteristic memory behaviour.
+
+Correctness: every application verifies its final memory against a
+Python/numpy oracle, on every switch model and on several machine shapes
+— this is the end-to-end proof that the grouping pass and every machine
+model preserve program semantics.
+
+Behaviour: each application must show the memory-access character the
+paper reports for it (Table 2 / Sections 5-6).
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app, app_names
+from repro.compiler import prepare_for_model, grouping_report
+from repro.harness.sizes import SCALES
+from repro.machine import MachineConfig, SwitchModel
+from repro.runtime import run_app
+
+TINY = SCALES["tiny"]
+
+CORE_MODELS = [
+    SwitchModel.IDEAL,
+    SwitchModel.SWITCH_ON_LOAD,
+    SwitchModel.EXPLICIT_SWITCH,
+    SwitchModel.CONDITIONAL_SWITCH,
+]
+EXTRA_MODELS = [
+    SwitchModel.SWITCH_ON_USE,
+    SwitchModel.SWITCH_ON_MISS,
+    SwitchModel.SWITCH_ON_USE_MISS,
+    SwitchModel.SWITCH_EVERY_CYCLE,
+]
+
+
+def run_tiny(name, model, processors=2, threads=2, **extra):
+    spec = get_app(name)
+    app = spec.build(processors * threads, **TINY[name])
+    program = prepare_for_model(app.program, model)
+    config = MachineConfig(
+        model=model,
+        num_processors=processors,
+        threads_per_processor=threads,
+        latency=0 if model is SwitchModel.IDEAL else 200,
+        max_cycles=300_000_000,
+        **extra,
+    )
+    return run_app(app, config, program=program)
+
+
+@pytest.mark.parametrize("name", app_names())
+@pytest.mark.parametrize("model", CORE_MODELS, ids=lambda m: m.value)
+def test_app_correct_under_core_models(name, model):
+    run_tiny(name, model)  # run_app raises on a wrong result
+
+
+@pytest.mark.parametrize("name", app_names())
+@pytest.mark.parametrize("model", EXTRA_MODELS, ids=lambda m: m.value)
+def test_app_correct_under_extra_models(name, model):
+    run_tiny(name, model)
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_app_correct_single_thread(name):
+    run_tiny(name, SwitchModel.SWITCH_ON_LOAD, processors=1, threads=1)
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_app_correct_odd_thread_count(name):
+    run_tiny(name, SwitchModel.EXPLICIT_SWITCH, processors=3, threads=1)
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_app_correct_with_interblock_oracle(name):
+    run_tiny(name, SwitchModel.EXPLICIT_SWITCH, interblock_oracle=True)
+
+
+def test_registry():
+    assert app_names() == [
+        "sieve", "blkmat", "sor", "ugray", "water", "locus", "mp3d"
+    ]
+    assert get_app("sor").name == "sor"
+    with pytest.raises(KeyError, match="unknown application"):
+        get_app("doom")
+
+
+def test_build_default_scaling():
+    spec = get_app("sieve")
+    app = spec.build_default(2, scale=0.5)
+    assert app.meta["limit"] == spec.default_size["limit"] * 0.5
+
+
+# -- characteristic behaviour (paper Table 2 / Sections 5-6) -------------------
+
+
+def test_sor_has_dominant_short_runs_under_sol():
+    result = run_tiny("sor", SwitchModel.SWITCH_ON_LOAD)
+    fractions = result.stats.run_length_fractions([1, 2, 5, 10, 100])
+    assert fractions["1"] + fractions["2"] > 0.5  # paper: 39% + 39%
+
+
+def test_sor_grouping_eliminates_short_runs():
+    result = run_tiny("sor", SwitchModel.EXPLICIT_SWITCH)
+    fractions = result.stats.run_length_fractions([1, 2, 5, 10, 100])
+    assert fractions["1"] + fractions["2"] < 0.05
+    assert result.stats.grouping_factor() > 3.0  # five-load stencil groups
+
+
+def test_sor_static_group_of_five():
+    spec = get_app("sor")
+    app = spec.build(1, **TINY["sor"])
+    report = grouping_report(app.program)
+    # 5 stencil loads + barrier traffic; far fewer groups than loads.
+    assert report.grouping_factor >= 1.9
+
+
+def test_blkmat_has_long_runs():
+    result = run_tiny("blkmat", SwitchModel.SWITCH_ON_LOAD)
+    assert result.stats.mean_run_length > 50  # "exceptionally high"
+
+
+def test_sieve_runs_are_constant():
+    result = run_tiny("sieve", SwitchModel.SWITCH_ON_LOAD)
+    fractions = result.stats.run_length_fractions([1, 2, 5, 10, 100])
+    assert fractions["11-100"] > 0.7  # one narrow band dominates
+
+
+def test_grouping_reduces_switches():
+    """Explicit-switch must context switch much less than switch-on-load
+    (the paper: 50-80% fewer switches) on the groupable applications."""
+    for name in ("sor", "water", "mp3d"):
+        sol = run_tiny(name, SwitchModel.SWITCH_ON_LOAD)
+        grouped = run_tiny(name, SwitchModel.EXPLICIT_SWITCH)
+        assert grouped.stats.switches < 0.75 * sol.stats.switches, name
+
+
+def test_mp3d_caches_poorly_sor_caches_well():
+    mp3d = run_tiny("mp3d", SwitchModel.CONDITIONAL_SWITCH)
+    sor = run_tiny("sor", SwitchModel.CONDITIONAL_SWITCH)
+    assert sor.stats.hit_rate > 0.8
+    assert mp3d.stats.hit_rate < sor.stats.hit_rate - 0.3
+
+
+def test_ugray_uses_critical_sections():
+    result = run_tiny("ugray", SwitchModel.SWITCH_ON_LOAD)
+    assert result.stats.sync_msgs > 0  # lock-protected row counter
+
+
+def test_water_loads_group_pairwise():
+    result = run_tiny("water", SwitchModel.EXPLICIT_SWITCH)
+    assert result.stats.grouping_factor() > 1.4  # coordinate pairs group
+
+
+def test_locus_gains_little_from_intra_block_grouping():
+    spec = get_app("locus")
+    app = spec.build(1, **TINY["locus"])
+    report = grouping_report(app.program)
+    assert report.grouping_factor < 1.6  # paper: 1.05
+
+
+def test_no_implicit_use_switches_in_grouped_apps():
+    """The grouping pass must place a SWITCH before every use — an
+    implicit use-switch under EXPLICIT_SWITCH means it missed one."""
+    for name in app_names():
+        result = run_tiny(name, SwitchModel.EXPLICIT_SWITCH)
+        assert result.stats.implicit_use_switches == 0, name
+
+
+def test_apps_scale_parameters():
+    # A couple of non-default sizes per app still verify.
+    cases = {
+        "sieve": {"limit": 900},
+        "blkmat": {"n": 12, "block": 4},
+        "sor": {"n": 6, "iterations": 1},
+        "ugray": {"width": 4, "height": 4, "grid": 4, "spheres": 3, "steps": 6},
+        "water": {"molecules": 7, "iterations": 1},
+        "locus": {"width": 8, "height": 6, "wires": 5},
+        "mp3d": {"particles": 24, "steps": 1, "cells": 3},
+    }
+    for name, size in cases.items():
+        spec = get_app(name)
+        app = spec.build(2, **size)
+        program = prepare_for_model(app.program, SwitchModel.EXPLICIT_SWITCH)
+        run_app(
+            app,
+            MachineConfig(
+                model=SwitchModel.EXPLICIT_SWITCH,
+                num_processors=2,
+                threads_per_processor=1,
+                max_cycles=300_000_000,
+            ),
+            program=program,
+        )

@@ -1,0 +1,91 @@
+"""Basic-block discovery and reassembly."""
+
+import pytest
+
+from repro.isa import assemble, Op
+from repro.compiler import build_blocks, reassemble
+
+LOOPY = """
+    li   r1, 0
+    li   r2, 5
+loop:
+    addi r1, r1, 1
+    lws  r3, 0(r1)
+    bne  r1, r2, loop
+    sws  r3, 0(r0)
+    halt
+"""
+
+
+def test_leaders():
+    program = assemble(LOOPY)
+    blocks = build_blocks(program)
+    starts = [block.start for block in blocks]
+    # leaders: 0 (entry), 2 (label target), 5 (after branch)
+    assert starts == [0, 2, 5]
+    assert blocks[1].labels == ["loop"]
+
+
+def test_terminator_property():
+    program = assemble(LOOPY)
+    blocks = build_blocks(program)
+    assert blocks[1].terminator.op is Op.BNE
+    assert blocks[2].terminator.op is Op.HALT
+    assert blocks[0].terminator is None  # falls through
+
+
+def test_blocks_copy_instructions():
+    program = assemble(LOOPY)
+    blocks = build_blocks(program)
+    blocks[0].instructions[0].imm = 42
+    assert program[0].imm == 0
+
+
+def test_reassemble_round_trip():
+    program = assemble(LOOPY)
+    rebuilt = reassemble(build_blocks(program), "again")
+    assert len(rebuilt) == len(program)
+    assert rebuilt.labels == program.labels
+    assert [i.to_asm() for i in rebuilt] == [i.to_asm() for i in program]
+
+
+def test_reassemble_remaps_labels_after_insertion():
+    from repro.isa import Instruction
+
+    program = assemble(LOOPY)
+    blocks = build_blocks(program)
+    blocks[0].instructions.append(Instruction(Op.NOP))
+    rebuilt = reassemble(blocks, "shifted")
+    assert rebuilt.labels["loop"] == 3
+    assert rebuilt[rebuilt.labels["loop"] + 2].target == 3  # bne re-resolved
+
+
+def test_jump_targets_create_leaders():
+    program = assemble(
+        """
+        j skip
+        nop
+    skip:
+        halt
+        """
+    )
+    blocks = build_blocks(program)
+    assert [block.start for block in blocks] == [0, 1, 2]
+
+
+def test_requires_finalized():
+    from repro.isa import Instruction, Program
+
+    with pytest.raises(ValueError):
+        build_blocks(Program([Instruction(Op.HALT)]))
+
+
+def test_reassemble_rejects_anonymous_branches():
+    from repro.isa import Instruction, Program
+    from repro.compiler.cfg import BasicBlock
+
+    anon = Instruction(Op.J)
+    anon.target = 0
+    block = BasicBlock(0, 0, [anon, Instruction(Op.HALT)])
+    with pytest.raises(ValueError, match="symbolic"):
+        reassemble([block], "bad")

@@ -1,0 +1,101 @@
+"""Intra-block dependence rules (exact registers, pessimistic memory)."""
+
+from repro.isa import assemble
+from repro.compiler import block_dependences
+from repro.compiler.dependence import mem_class, MemClass
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def deps_of(asm: str):
+    program = assemble(asm + "\nhalt\n")
+    body = program.instructions[:-1]
+    return block_dependences(body)
+
+
+def test_raw_dependence():
+    preds, _succs = deps_of("li r1, 5\nadd r2, r1, r1")
+    assert preds[1] == [0]
+
+
+def test_war_dependence():
+    preds, _ = deps_of("add r2, r1, r3\nli r1, 5")
+    assert preds[1] == [0]
+
+
+def test_waw_dependence():
+    preds, _ = deps_of("li r1, 5\nli r1, 6")
+    assert preds[1] == [0]
+
+
+def test_independent_instructions():
+    preds, _ = deps_of("li r1, 5\nli r2, 6")
+    assert preds[1] == []
+
+
+def test_r0_never_creates_dependences():
+    preds, _ = deps_of("li r0, 5\nadd r1, r0, r0")
+    assert preds[1] == []
+
+
+def test_shared_loads_are_independent():
+    preds, _ = deps_of("lws r1, 0(r9)\nlws r2, 4(r9)")
+    assert preds[1] == []
+
+
+def test_shared_store_orders_later_loads():
+    preds, _ = deps_of("sws r1, 0(r9)\nlws r2, 4(r9)")
+    assert preds[1] == [0]
+
+
+def test_shared_load_orders_later_stores():
+    preds, _ = deps_of("lws r1, 0(r9)\nsws r2, 4(r9)")
+    assert 0 in preds[1]
+
+
+def test_faa_is_a_fence_for_shared():
+    preds, _ = deps_of("lws r1, 0(r9)\nfaa r2, 4(r9), r3\nlws r5, 8(r9)")
+    assert 0 in preds[1]
+    assert 1 in preds[2]
+
+
+def test_local_and_shared_never_conflict():
+    preds, _ = deps_of("swl r1, 0(r9)\nlws r2, 4(r9)")
+    assert preds[1] == []
+
+
+def test_local_store_orders_local_load():
+    preds, _ = deps_of("swl r1, 0(r9)\nlwl r2, 4(r9)")
+    assert preds[1] == [0]
+
+
+def test_local_loads_independent():
+    preds, _ = deps_of("lwl r1, 0(r9)\nlwl r2, 4(r9)")
+    assert preds[1] == []
+
+
+def test_switch_fences_shared_but_not_local():
+    preds, _ = deps_of("lws r1, 0(r9)\nswitch\nlwl r2, 0(r9)\nlws r3, 4(r9)")
+    assert 0 in preds[1]  # load before fence
+    assert 1 not in preds[2]  # local traffic passes the fence
+    assert 1 in preds[3]  # later shared load ordered after fence
+
+
+def test_mem_class_mapping():
+    assert mem_class(Instruction(Op.FAA)) is MemClass.SHARED_WRITE
+    assert mem_class(Instruction(Op.LWS)) is MemClass.SHARED_READ
+    assert mem_class(Instruction(Op.SDS)) is MemClass.SHARED_WRITE
+    assert mem_class(Instruction(Op.LDL)) is MemClass.LOCAL_READ
+    assert mem_class(Instruction(Op.SWL)) is MemClass.LOCAL_WRITE
+    assert mem_class(Instruction(Op.SWITCH)) is MemClass.FENCE
+    assert mem_class(Instruction(Op.ADD)) is MemClass.NONE
+
+
+def test_edges_point_forward():
+    preds, succs = deps_of(
+        "lws r1, 0(r9)\nadd r2, r1, r1\nsws r2, 0(r9)\nlws r3, 4(r9)"
+    )
+    for later, earlier_list in enumerate(preds):
+        for earlier in earlier_list:
+            assert earlier < later
+            assert later in succs[earlier]

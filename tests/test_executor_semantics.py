@@ -1,0 +1,250 @@
+"""Per-opcode semantics of the burst interpreter (IDEAL machine)."""
+
+import pytest
+
+from repro.machine.processor import ExecutionError
+from conftest import run_asm
+
+
+def _local(asm: str, shared=None, regs=None):
+    result = run_asm(asm, shared=shared, regs=regs)
+    return result.threads[0].local
+
+
+def test_integer_arithmetic():
+    local = _local(
+        """
+        li   r1, 7
+        li   r2, -3
+        add  r3, r1, r2
+        swl r3, 0(r0)
+        sub  r3, r1, r2
+        swl r3, 1(r0)
+        mul  r3, r1, r2
+        swl r3, 2(r0)
+        halt
+        """
+    )
+    assert local[:3] == [4, 10, -21]
+
+
+@pytest.mark.parametrize(
+    "a, b, quotient, remainder",
+    [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+)
+def test_division_truncates_toward_zero(a, b, quotient, remainder):
+    local = _local(
+        f"""
+        li  r1, {a}
+        li  r2, {b}
+        div r3, r1, r2
+        swl r3, 0(r0)
+        rem r3, r1, r2
+        swl r3, 1(r0)
+        halt
+        """
+    )
+    assert local[:2] == [quotient, remainder]
+
+
+def test_divide_by_zero_faults():
+    with pytest.raises(ExecutionError, match="divide by zero"):
+        run_asm("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt\n")
+
+
+def test_logic_and_shifts():
+    local = _local(
+        """
+        li   r1, 12
+        li   r2, 10
+        and  r3, r1, r2
+        swl r3, 0(r0)
+        or   r3, r1, r2
+        swl r3, 1(r0)
+        xor  r3, r1, r2
+        swl r3, 2(r0)
+        slli r3, r1, 2
+        swl r3, 3(r0)
+        srli r3, r1, 1
+        swl r3, 4(r0)
+        halt
+        """
+    )
+    assert local[:5] == [8, 14, 6, 48, 6]
+
+
+def test_comparisons():
+    local = _local(
+        """
+        li  r1, 3
+        li  r2, 5
+        slt r3, r1, r2
+        swl r3, 0(r0)
+        sle r3, r2, r2
+        swl r3, 1(r0)
+        seq r3, r1, r2
+        swl r3, 2(r0)
+        sne r3, r1, r2
+        swl r3, 3(r0)
+        slti r3, r1, 4
+        swl r3, 4(r0)
+        halt
+        """
+    )
+    assert local[:5] == [1, 1, 0, 1, 1]
+
+
+def test_float_ops():
+    local = _local(
+        """
+        fli  f1, 2.5
+        fli  f2, 4.0
+        fadd f3, f1, f2
+        swl f3, 0(r0)
+        fsub f3, f1, f2
+        swl f3, 1(r0)
+        fmul f3, f1, f2
+        swl f3, 2(r0)
+        fdiv f3, f2, f1
+        swl f3, 3(r0)
+        fneg f3, f1
+        swl f3, 4(r0)
+        fabs f3, f3
+        swl f3, 5(r0)
+        fsqrt f3, f2
+        swl f3, 6(r0)
+        halt
+        """
+    )
+    assert local[:7] == [6.5, -1.5, 10.0, 1.6, -2.5, 2.5, 2.0]
+
+
+def test_conversions():
+    local = _local(
+        """
+        li    r1, 7
+        cvtif f1, r1
+        swl f1, 0(r0)
+        fli   f2, -2.9
+        cvtfi r2, f2
+        swl r2, 1(r0)
+        halt
+        """
+    )
+    assert local[0] == 7.0
+    assert local[1] == -2  # truncation toward zero
+
+
+def test_float_compares_produce_ints():
+    local = _local(
+        """
+        fli  f1, 1.5
+        fli  f2, 2.5
+        fslt r1, f1, f2
+        swl r1, 0(r0)
+        fsle r1, f2, f1
+        swl r1, 1(r0)
+        fseq r1, f1, f1
+        swl r1, 2(r0)
+        halt
+        """
+    )
+    assert local[:3] == [1, 0, 1]
+
+
+def test_branches():
+    local = _local(
+        """
+        li   r1, 5
+        li   r2, 5
+        beq  r1, r2, eq_taken
+        swl r1, 7(r0)
+    eq_taken:
+        li   r3, 1
+        swl r3, 0(r0)
+        bgt  r1, r2, not_taken
+        li   r3, 2
+        swl r3, 1(r0)
+    not_taken:
+        halt
+        """
+    )
+    assert local[0] == 1
+    assert local[1] == 2
+    assert local[7] == 0  # skipped store
+
+
+def test_jal_and_jr():
+    local = _local(
+        """
+        jal  sub
+        swl r2, 0(r0)
+        halt
+    sub:
+        li   r2, 99
+        jr   ra
+        """
+    )
+    assert local[0] == 99
+
+
+def test_r0_is_immutable():
+    local = _local(
+        """
+        li  r0, 42
+        addi r0, r0, 1
+        swl r0, 0(r0)
+        halt
+        """
+    )
+    assert local[0] == 0
+
+
+def test_local_memory_doubles():
+    local = _local(
+        """
+        li  r2, 3
+        li  r3, 4
+        sdl r2, 0(r0)
+        ldl r6, 0(r0)
+        swl r6, 8(r0)
+        swl r7, 9(r0)
+        halt
+        """
+    )
+    assert local[0:2] == [3, 4]
+    assert local[8:10] == [3, 4]
+
+
+def test_shared_memory_and_faa(tiny_shared):
+    result = run_asm(
+        """
+        li  r1, 5
+        lws r2, 2(r0)
+        sws r2, 20(r0)
+        lds r8, 4(r0)
+        sds r8, 30(r0)
+        faa r3, 10(r0), r1
+        faa r4, 10(r0), r1
+        swl r3, 0(r0)
+        swl r4, 1(r0)
+        halt
+        """,
+        shared=tiny_shared,
+    )
+    assert result.shared[20] == 2
+    assert result.shared[30:32] == [4, 5]
+    assert result.shared[10] == 10 + 5 + 5
+    assert result.threads[0].local[0] == 10  # first FAA sees old value
+    assert result.threads[0].local[1] == 15
+
+
+def test_nop_and_switch_are_neutral(tiny_shared):
+    result = run_asm("nop\nswitch\nhalt\n", shared=tiny_shared)
+    assert result.wall_cycles == 2  # nop + switch each cost one cycle
+
+
+def test_instruction_costs_accumulate():
+    result = run_asm("li r1, 2\nli r2, 3\nmul r3, r1, r2\nhalt\n")
+    # li + li + mul(12) = 14 cycles
+    assert result.wall_cycles == 14

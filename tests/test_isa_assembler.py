@@ -1,0 +1,127 @@
+"""Assembler / disassembler behaviour."""
+
+import pytest
+
+from repro.isa import assemble, disassemble, AssemblerError, Op
+
+
+def test_basic_program():
+    program = assemble(
+        """
+        li   r8, 5
+    loop:
+        addi r8, r8, -1
+        bne  r8, r0, loop
+        halt
+        """
+    )
+    assert len(program) == 4
+    assert program[0].op is Op.LI
+    assert program[2].target == 1  # resolved label
+
+
+def test_every_operand_signature_parses():
+    text = """
+    start:
+        add    r1, r2, r3
+        addi   r1, r2, 7
+        mov    r1, r2
+        li     r1, -3
+        fli    f1, 2.5
+        lws    r1, 4(r2)
+        sws    r1, -4(r2)
+        lwl    f3, 0(r2)
+        swl    f3, 0(r2)
+        lds    r2, 8(r3)
+        sds    r2, 8(r3)
+        faa    r1, 0(r2), r3
+        beq    r1, r2, start
+        j      start
+        jal    start
+        jr     r31
+        nop
+        switch
+        halt
+    """
+    program = assemble(text)
+    assert program[4].imm == 2.5
+    assert program[11].op is Op.FAA
+
+
+def test_round_trip():
+    text = """
+    top:
+        li     r8, 10
+        lws    f2, 3(r8)
+        faa    r9, 0(r8), r1
+        blt    r9, r8, top
+        halt
+    """
+    program = assemble(text)
+    again = assemble(disassemble(program))
+    assert [ins.to_asm() for ins in program] == [ins.to_asm() for ins in again]
+    assert again.labels == program.labels
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        ; leading comment
+        li r1, 1   # trailing comment
+        # another
+        halt
+        """
+    )
+    assert len(program) == 2
+
+
+def test_sync_marker_round_trips():
+    program = assemble("lws r1, 0(r2) ; sync\nhalt\n")
+    assert program[0].sync
+    again = assemble(disassemble(program))
+    assert again[0].sync
+
+
+def test_hex_immediates():
+    program = assemble("li r1, 0x10\nhalt\n")
+    assert program[0].imm == 16
+
+
+def test_label_sharing_line_with_instruction():
+    program = assemble("go: li r1, 1\n j go\n halt\n")
+    assert program.labels["go"] == 0
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate r1, r2\nhalt\n")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add r1, r2\nhalt\n")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("x: nop\nx: halt\n")
+
+
+def test_undefined_label():
+    with pytest.raises(Exception, match="undefined label"):
+        assemble("j nowhere\nhalt\n")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2, r99\nhalt\n")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="bad memory operand"):
+        assemble("lws r1, r2\nhalt\n")
+
+
+def test_negative_displacement():
+    program = assemble("lws r1, -12(r2)\nhalt\n")
+    assert program[0].imm == -12

@@ -1,0 +1,68 @@
+"""Instruction def/use sets and rendering."""
+
+from repro.isa import Instruction, Op, instr_reads, instr_writes
+from repro.isa.registers import LINK_REG
+
+
+def test_r3_reads_and_writes():
+    ins = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+    assert set(instr_reads(ins)) == {2, 3}
+    assert instr_writes(ins) == (1,)
+
+
+def test_load_reads_base_writes_dest():
+    ins = Instruction(Op.LWS, rd=7, rs1=8, imm=4)
+    assert instr_reads(ins) == (8,)
+    assert instr_writes(ins) == (7,)
+
+
+def test_double_load_writes_pair():
+    ins = Instruction(Op.LDS, rd=7, rs1=8)
+    assert instr_writes(ins) == (7, 8)
+
+
+def test_store_reads_value_and_base():
+    ins = Instruction(Op.SWS, rs1=8, rs2=9)
+    assert set(instr_reads(ins)) == {8, 9}
+    assert instr_writes(ins) == ()
+
+
+def test_double_store_reads_pair():
+    ins = Instruction(Op.SDS, rs1=8, rs2=10)
+    assert set(instr_reads(ins)) == {8, 10, 11}
+
+
+def test_faa_reads_base_and_addend():
+    ins = Instruction(Op.FAA, rd=1, rs1=2, rs2=3)
+    assert set(instr_reads(ins)) == {2, 3}
+    assert instr_writes(ins) == (1,)
+
+
+def test_jal_writes_link_register():
+    ins = Instruction(Op.JAL, label="x")
+    assert instr_writes(ins) == (LINK_REG,)
+
+
+def test_switch_touches_nothing():
+    ins = Instruction(Op.SWITCH)
+    assert instr_reads(ins) == ()
+    assert instr_writes(ins) == ()
+
+
+def test_cost_precomputed():
+    assert Instruction(Op.MUL).cost == 12
+    assert Instruction(Op.ADD).cost == 1
+
+
+def test_equality_and_copy():
+    a = Instruction(Op.ADDI, rd=1, rs1=2, imm=5)
+    assert a == a.copy()
+    assert a != Instruction(Op.ADDI, rd=1, rs1=2, imm=6)
+
+
+def test_to_asm_examples():
+    assert Instruction(Op.ADDI, rd=1, rs1=2, imm=-3).to_asm() == "addi    r1, r2, -3"
+    assert Instruction(Op.LWS, rd=33, rs1=2, imm=8).to_asm() == "lws     f1, 8(r2)"
+    assert Instruction(Op.SWITCH).to_asm() == "switch"
+    sync = Instruction(Op.LWS, rd=1, rs1=2, sync=True)
+    assert "sync" in sync.to_asm()

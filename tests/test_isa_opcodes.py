@@ -1,0 +1,81 @@
+"""Opcode metadata consistency."""
+
+from repro.isa.opcodes import (
+    Op,
+    Sig,
+    OP_SIG,
+    CYCLE_COST,
+    SHARED_LOADS,
+    SHARED_STORES,
+    LOCAL_LOADS,
+    LOCAL_STORES,
+    BRANCHES,
+    BLOCK_TERMINATORS,
+    DOUBLE_ACCESSES,
+    is_shared_access,
+    instruction_cost,
+)
+
+
+def test_every_opcode_has_a_signature():
+    assert set(OP_SIG) == set(Op)
+
+
+def test_costs_are_positive():
+    for op in Op:
+        assert instruction_cost(op) >= 1
+
+
+def test_expensive_ops_cost_more_than_one_cycle():
+    for op in (Op.MUL, Op.DIV, Op.REM, Op.FADD, Op.FMUL, Op.FDIV, Op.FSQRT):
+        assert instruction_cost(op) > 1
+    assert instruction_cost(Op.ADD) == 1
+    assert instruction_cost(Op.SWITCH) == 1
+
+
+def test_memory_classifications_are_disjoint():
+    groups = [SHARED_LOADS, SHARED_STORES, LOCAL_LOADS, LOCAL_STORES]
+    for i, a in enumerate(groups):
+        for b in groups[i + 1 :]:
+            assert not (a & b)
+
+
+def test_shared_access_predicate():
+    assert is_shared_access(Op.LWS)
+    assert is_shared_access(Op.SDS)
+    assert is_shared_access(Op.FAA)
+    assert not is_shared_access(Op.LWL)
+    assert not is_shared_access(Op.ADD)
+    assert not is_shared_access(Op.SWITCH)
+
+
+def test_faa_is_a_shared_load():
+    # FAA returns a value, so models that switch on loads switch on it.
+    assert Op.FAA in SHARED_LOADS
+
+
+def test_terminators_include_branches_and_halt():
+    assert BRANCHES < BLOCK_TERMINATORS
+    assert Op.HALT in BLOCK_TERMINATORS
+    assert Op.SWITCH not in BLOCK_TERMINATORS
+
+
+def test_double_accesses():
+    assert DOUBLE_ACCESSES == {Op.LDS, Op.SDS, Op.LDL, Op.SDL}
+
+
+def test_opcode_value_layout_supports_range_dispatch():
+    # The interpreter relies on declaration-order grouping.
+    assert Op.ADD.value == 1
+    assert all(op.value <= 25 for op in (Op.ADD, Op.SLTI, Op.LI, Op.MOV))
+    assert all(26 <= op.value <= 39 for op in (Op.FADD, Op.CVTFI))
+    assert all(40 <= op.value <= 45 for op in (Op.BEQ, Op.BGE))
+    assert all(46 <= op.value <= 50 for op in (Op.J, Op.HALT))
+    assert all(51 <= op.value <= 54 for op in (Op.LWL, Op.SDL))
+    assert all(55 <= op.value <= 59 for op in (Op.LWS, Op.FAA))
+    assert Op.SWITCH.value == 60
+
+
+def test_sig_strings_are_informative():
+    assert "rd" in Sig.LOAD.value
+    assert "label" in Sig.BR2.value

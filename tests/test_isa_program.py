@@ -1,0 +1,69 @@
+"""Program container: finalisation, validation, rendering."""
+
+import pytest
+
+from repro.isa import assemble, Instruction, Op, Program
+from repro.isa.program import ProgramError
+
+
+def test_requires_halt():
+    with pytest.raises(ProgramError, match="no HALT"):
+        Program([Instruction(Op.NOP)]).finalize()
+
+
+def test_branch_target_resolution():
+    program = Program(
+        [Instruction(Op.J, label="end"), Instruction(Op.HALT)],
+        labels={"end": 1},
+    ).finalize()
+    assert program[0].target == 1
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(ProgramError, match="undefined label"):
+        Program([Instruction(Op.J, label="oops"), Instruction(Op.HALT)]).finalize()
+
+
+def test_out_of_range_target_rejected():
+    bad = Instruction(Op.J)
+    bad.target = 99
+    with pytest.raises(ProgramError, match="out of range"):
+        Program([bad, Instruction(Op.HALT)]).finalize()
+
+
+def test_copy_is_deep():
+    program = assemble("li r1, 1\nhalt\n")
+    dup = program.copy()
+    dup.instructions[0].imm = 42
+    assert program[0].imm == 1
+    assert dup.finalized
+
+
+def test_static_counts():
+    program = assemble(
+        """
+        lws r1, 0(r2)
+        lds r3, 0(r2)
+        faa r1, 0(r2), r3
+        sws r1, 0(r2)
+        switch
+        halt
+        """
+    )
+    assert program.shared_load_count() == 3
+    assert program.shared_store_count() == 1
+    assert program.switch_count() == 1
+    assert program.count(Op.HALT) == 1
+
+
+def test_to_asm_includes_labels():
+    program = assemble("top:\n j top\n halt\n")
+    text = program.to_asm()
+    assert "top:" in text
+    assert "j       top" in text
+
+
+def test_len_and_iteration():
+    program = assemble("nop\nnop\nhalt\n")
+    assert len(program) == 3
+    assert sum(1 for _ in program) == 3

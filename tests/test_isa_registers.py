@@ -1,0 +1,68 @@
+"""Register naming and layout."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_REGS,
+    reg_index,
+    reg_name,
+    is_fp_reg,
+    TID_REG,
+    NTHREADS_REG,
+    ARGS_REG,
+    SP_REG,
+    LINK_REG,
+)
+
+
+def test_integer_registers_map_to_low_slots():
+    assert reg_index("r0") == 0
+    assert reg_index("r31") == 31
+
+
+def test_fp_registers_map_to_high_slots():
+    assert reg_index("f0") == NUM_INT_REGS
+    assert reg_index("f31") == NUM_REGS - 1
+
+
+def test_aliases():
+    assert reg_index("zero") == 0
+    assert reg_index("tid") == TID_REG == 4
+    assert reg_index("ntid") == NTHREADS_REG == 5
+    assert reg_index("args") == ARGS_REG == 6
+    assert reg_index("sp") == SP_REG == 29
+    assert reg_index("ra") == LINK_REG == 31
+
+
+def test_integers_pass_through():
+    assert reg_index(17) == 17
+    assert reg_index(63) == 63
+
+
+def test_case_insensitive():
+    assert reg_index("R7") == 7
+    assert reg_index("F3") == 35
+
+
+@pytest.mark.parametrize("bad", ["r32", "f32", "x1", "", "r-1", "r", 64, -1])
+def test_rejects_bad_names(bad):
+    with pytest.raises(ValueError):
+        reg_index(bad)
+
+
+def test_round_trip_all_slots():
+    for slot in range(NUM_REGS):
+        assert reg_index(reg_name(slot)) == slot
+
+
+def test_reg_name_bounds():
+    with pytest.raises(ValueError):
+        reg_name(64)
+    with pytest.raises(ValueError):
+        reg_name(-1)
+
+
+def test_is_fp_reg():
+    assert not is_fp_reg(31)
+    assert is_fp_reg(32)

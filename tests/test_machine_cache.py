@@ -1,0 +1,135 @@
+"""Cache and directory unit behaviour."""
+
+import pytest
+
+from repro.machine.cache import Cache, OneLineCache
+from repro.machine.config import CacheConfig
+from repro.machine.directory import Directory
+
+
+def make_cache(num_sets=2, assoc=2, line_words=4) -> Cache:
+    return Cache(CacheConfig(num_sets=num_sets, assoc=assoc, line_words=line_words))
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(5) is None
+    cache.install(1, [10, 11, 12, 13])  # words 4..7
+    assert cache.lookup(5) == 11
+    assert cache.contains(7)
+    assert not cache.contains(8)
+
+
+def test_lru_eviction_order():
+    cache = make_cache(num_sets=1, assoc=2)
+    cache.install(0, [0] * 4)
+    cache.install(1, [1] * 4)
+    cache.lookup(0)  # touch line 0: line 1 becomes LRU
+    victim = cache.install(2, [2] * 4)
+    assert victim == 1
+    assert cache.contains(0)
+    assert not cache.contains(4)
+
+
+def test_install_existing_line_refreshes():
+    cache = make_cache(num_sets=1, assoc=2)
+    cache.install(0, [0] * 4)
+    cache.install(1, [1] * 4)
+    victim = cache.install(0, [9] * 4)  # refresh, no eviction
+    assert victim is None
+    assert cache.lookup(0) == 9
+
+
+def test_update_if_present():
+    cache = make_cache()
+    cache.install(0, [1, 2, 3, 4])
+    assert cache.update_if_present(2, 99)
+    assert cache.lookup(2) == 99
+    assert not cache.update_if_present(100, 5)
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.install(3, [7] * 4)
+    assert cache.invalidate(3)
+    assert not cache.invalidate(3)
+    assert cache.lookup(12) is None
+
+
+def test_flush_and_resident_count():
+    cache = make_cache()
+    cache.install(0, [0] * 4)
+    cache.install(9, [0] * 4)
+    assert cache.resident_lines == 2
+    cache.flush()
+    assert cache.resident_lines == 0
+
+
+def test_set_mapping_separates_lines():
+    cache = make_cache(num_sets=2, assoc=1)
+    cache.install(0, [0] * 4)  # set 0
+    cache.install(1, [1] * 4)  # set 1
+    assert cache.contains(0) and cache.contains(4)
+
+
+def test_cache_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(num_sets=0)
+    with pytest.raises(ValueError):
+        CacheConfig(line_words=3)
+    assert CacheConfig().total_words == 64 * 4 * 8
+
+
+def test_one_line_cache_estimator():
+    olc = OneLineCache(line_words=4)
+    assert not olc.access(0)  # cold miss
+    assert olc.access(1)  # same line
+    assert olc.access(3)
+    assert not olc.access(4)  # new line replaces
+    assert not olc.access(0)  # old line gone
+    assert olc.hit_rate == pytest.approx(2 / 5)
+
+
+# -- directory ---------------------------------------------------------------
+
+
+def test_directory_sharers():
+    directory = Directory(4)
+    directory.add_sharer(7, 0)
+    directory.add_sharer(7, 2)
+    assert directory.sharers_of(7) == {0, 2}
+    assert directory.is_shared(7)
+
+
+def test_invalidate_others_spares_writer():
+    directory = Directory(4)
+    for pid in (0, 1, 2):
+        directory.add_sharer(5, pid)
+    victims = directory.invalidate_others(5, writer=1)
+    assert sorted(victims) == [0, 2]
+    assert directory.sharers_of(5) == {1}
+
+
+def test_invalidate_others_writerless():
+    directory = Directory(4)
+    directory.add_sharer(5, 0)
+    directory.add_sharer(5, 3)
+    victims = directory.invalidate_others(5, writer=-1)
+    assert sorted(victims) == [0, 3]
+    assert directory.sharers_of(5) == set()
+
+
+def test_drop_sharer():
+    directory = Directory(2)
+    directory.add_sharer(1, 0)
+    directory.drop_sharer(1, 0)
+    assert not directory.is_shared(1)
+    directory.drop_sharer(1, 0)  # idempotent
+    directory.check_invariants()
+
+
+def test_invariant_checker_catches_bad_sharer():
+    directory = Directory(2)
+    directory._sharers[0] = {5}
+    with pytest.raises(AssertionError):
+        directory.check_invariants()

@@ -1,0 +1,144 @@
+"""Config validation, model flags, network bit accounting, stats math,
+thread context."""
+
+import pytest
+
+from repro.machine.config import MachineConfig, CacheConfig, NetworkConfig
+from repro.machine.models import SwitchModel
+from repro.machine.network import MsgKind, transaction_bits
+from repro.machine.stats import SimStats
+from repro.machine.thread import ThreadContext
+
+
+# -- config --------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(num_processors=0)
+    with pytest.raises(ValueError):
+        MachineConfig(threads_per_processor=0)
+    with pytest.raises(ValueError):
+        MachineConfig(latency=201)  # must be even
+    with pytest.raises(ValueError):
+        MachineConfig(burst_limit=0)
+
+
+def test_cached_models_get_default_cache():
+    config = MachineConfig(model=SwitchModel.CONDITIONAL_SWITCH)
+    assert config.cache is not None
+    uncached = MachineConfig(model=SwitchModel.SWITCH_ON_LOAD)
+    assert uncached.cache is None
+
+
+def test_replace():
+    config = MachineConfig(latency=200)
+    faster = config.replace(latency=100)
+    assert faster.latency == 100 and config.latency == 200
+    assert config.total_threads == 1
+
+
+# -- model flags -----------------------------------------------------------------
+
+
+def test_model_flags():
+    assert SwitchModel.CONDITIONAL_SWITCH.uses_cache
+    assert SwitchModel.SWITCH_ON_MISS.uses_cache
+    assert not SwitchModel.EXPLICIT_SWITCH.uses_cache
+    assert SwitchModel.EXPLICIT_SWITCH.wants_grouped_code
+    assert SwitchModel.SWITCH_ON_USE.wants_grouped_code
+    assert not SwitchModel.SWITCH_ON_USE.wants_switch_instructions
+    assert SwitchModel.CONDITIONAL_SWITCH.wants_switch_instructions
+    assert SwitchModel.SWITCH_ON_USE_MISS.is_split_phase
+    assert SwitchModel.SWITCH_ON_MISS.pays_flush_cost
+    assert not SwitchModel.CONDITIONAL_SWITCH.pays_flush_cost
+
+
+# -- network ---------------------------------------------------------------------
+
+
+def test_transaction_bits_arithmetic():
+    net = NetworkConfig(header_bits=32, addr_bits=32, word_bits=32, ack_bits=32)
+    assert transaction_bits(MsgKind.READ, net) == (64, 64)
+    assert transaction_bits(MsgKind.READ2, net) == (64, 96)
+    assert transaction_bits(MsgKind.WRITE, net) == (96, 32)
+    assert transaction_bits(MsgKind.FAA, net) == (96, 64)
+    fwd, ret = transaction_bits(MsgKind.LINE_READ, net, line_words=8)
+    assert ret == 32 + 8 * 32
+    inval_fwd, inval_ret = transaction_bits(MsgKind.INVALIDATE, net)
+    assert inval_fwd == 0 and inval_ret > 0
+
+
+# -- stats ------------------------------------------------------------------------
+
+
+def make_stats() -> SimStats:
+    return SimStats(2, NetworkConfig(), line_words=8)
+
+
+def test_run_length_bookkeeping():
+    stats = make_stats()
+    for length in (1, 1, 2, 50, 200):
+        stats.record_run(length)
+    stats.record_run(0)  # zero-length runs are not recorded
+    assert stats.total_runs == 5
+    assert stats.mean_run_length == pytest.approx((1 + 1 + 2 + 50 + 200) / 5)
+    fractions = stats.run_length_fractions([1, 2, 5, 10, 100])
+    assert fractions["1"] == pytest.approx(0.4)
+    assert fractions["2"] == pytest.approx(0.2)
+    assert fractions[">100"] == pytest.approx(0.2)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_message_accounting_and_sync_exclusion():
+    stats = make_stats()
+    stats.count_message(MsgKind.READ, sync=False)
+    stats.count_message(MsgKind.READ, sync=True)
+    assert stats.msg_counts[MsgKind.READ] == 1
+    assert stats.sync_msgs == 1
+    assert stats.total_bits == 128
+    assert stats.sync_bits == 128
+
+
+def test_bandwidth_per_processor():
+    stats = make_stats()
+    stats.count_message(MsgKind.READ, sync=False)
+    stats.wall_cycles = 64
+    # 128 bits over 64 cycles and 2 processors -> 1 bit/cycle/processor.
+    assert stats.bandwidth_bits_per_cycle() == pytest.approx(1.0)
+
+
+def test_grouping_factor():
+    stats = make_stats()
+    for _ in range(6):
+        stats.count_message(MsgKind.READ, sync=False)
+    stats.switches = 2
+    assert stats.grouping_factor() == pytest.approx(3.0)
+
+
+def test_hit_rate():
+    stats = make_stats()
+    assert stats.hit_rate == 0.0
+    stats.cache_hits = 9
+    stats.cache_misses = 1
+    assert stats.hit_rate == pytest.approx(0.9)
+
+
+# -- thread -----------------------------------------------------------------------
+
+
+def test_thread_deliver_waw_guard():
+    thread = ThreadContext(0)
+    thread.inflight[3] = 400  # a newer load will return at t=400
+    thread.deliver(3, 11, ready=200)  # the older load's response
+    assert thread.regs[3] == 11
+    assert thread.inflight == {3: 400}  # still waiting for the newer one
+    thread.deliver(3, 22, ready=400)
+    assert thread.regs[3] == 22
+    assert not thread.inflight
+
+
+def test_thread_r0_protected():
+    thread = ThreadContext(0)
+    thread.deliver(0, 99)
+    assert thread.regs[0] == 0

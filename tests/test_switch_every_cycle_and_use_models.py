@@ -1,0 +1,130 @@
+"""Deeper behaviour tests for the less-used taxonomy models."""
+
+import pytest
+
+from repro.machine import SwitchModel
+from conftest import run_asm
+
+
+def test_sec_interleaves_two_threads_fairly():
+    # Two compute-only threads under switch-every-cycle share the
+    # processor cycle by cycle: both finish at nearly the same time.
+    asm = """
+        li r9, 50
+    loop:
+        addi r9, r9, -1
+        bne r9, r0, loop
+        halt
+    """
+    result = run_asm(asm, model=SwitchModel.SWITCH_EVERY_CYCLE, threads=2)
+    halts = [t.halt_time for t in result.threads]
+    assert abs(halts[0] - halts[1]) <= 2
+    # Interleaving doubles each thread's completion time.
+    solo = run_asm(asm, model=SwitchModel.SWITCH_EVERY_CYCLE, threads=1)
+    assert min(halts) >= 2 * solo.wall_cycles - 4
+
+
+def test_sec_hides_latency_with_enough_threads():
+    asm = """
+        li r9, 16
+    loop:
+        lws r1, 0(r0)
+        addi r9, r9, -1
+        bne r9, r0, loop
+        halt
+    """
+    thin = run_asm(asm, model=SwitchModel.SWITCH_EVERY_CYCLE, threads=2, latency=200)
+    wide = run_asm(asm, model=SwitchModel.SWITCH_EVERY_CYCLE, threads=32, latency=200)
+    # 16x the work in much less than 16x the time.
+    assert wide.wall_cycles < thin.wall_cycles * 6
+
+
+def test_use_model_prefetch_distance_matters():
+    # With uses far from loads, switch-on-use pays almost nothing; with
+    # uses adjacent it behaves like switch-on-load.
+    near = """
+        li r9, 16
+    loop:
+        lws r1, 0(r0)
+        add r2, r1, r1
+        addi r9, r9, -1
+        bne r9, r0, loop
+        halt
+    """
+    far = """
+        li r9, 16
+    loop:
+        lws r1, 0(r0)
+        addi r9, r9, -1
+        add r3, r9, r9
+        add r3, r3, r9
+        add r2, r1, r1
+        bne r9, r0, loop
+        halt
+    """
+    near_result = run_asm(near, model=SwitchModel.SWITCH_ON_USE, latency=200)
+    far_result = run_asm(far, model=SwitchModel.SWITCH_ON_USE, latency=200)
+    # Both wait ~latency per iteration with one thread, but the far
+    # version's waits are shorter by the overlap distance.
+    assert far_result.stats.busy_cycles > near_result.stats.busy_cycles
+    assert far_result.wall_cycles <= near_result.wall_cycles + 16 * 4
+
+
+def test_use_miss_only_switches_on_missing_use():
+    asm = """
+        lws r1, 0(r0)
+        add r2, r1, r1
+        lws r3, 0(r0)
+        add r4, r3, r3
+        halt
+    """
+    result = run_asm(asm, model=SwitchModel.SWITCH_ON_USE_MISS, latency=200)
+    # First use waits for the miss; second load hits so its use is free.
+    assert result.stats.cache_misses == 1
+    assert result.stats.cache_hits == 1
+    assert result.stats.switches == 1
+
+
+def test_flush_cost_not_charged_by_opcode_identified_models():
+    asm = """
+        lws r1, 0(r0)
+        switch
+        halt
+    """
+    for model in (SwitchModel.EXPLICIT_SWITCH, SwitchModel.CONDITIONAL_SWITCH):
+        result = run_asm(asm, model=model, latency=200, switch_cost=9)
+        assert result.stats.switch_overhead_cycles == 0, model
+
+
+def test_burst_limit_does_not_change_results():
+    asm = """
+        li r9, 200
+        li r10, 0
+    loop:
+        add r10, r10, r9
+        addi r9, r9, -1
+        bne r9, r0, loop
+        sws r10, 0(r0)
+        halt
+    """
+    walls = set()
+    for limit in (16, 256, 4096):
+        result = run_asm(
+            asm, model=SwitchModel.SWITCH_ON_LOAD, latency=200, burst_limit=limit
+        )
+        assert result.shared[0] == sum(range(1, 201))
+        walls.add(result.wall_cycles)
+    assert len(walls) == 1  # burst granularity is invisible to timing
+
+
+def test_latency_zero_non_ideal():
+    # A degenerate zero-latency switch-on-load machine still works.
+    asm = """
+        lws r1, 0(r0)
+        sws r1, 1(r0)
+        halt
+    """
+    result = run_asm(
+        asm, shared=[9] + [0] * 15, model=SwitchModel.SWITCH_ON_LOAD, latency=0
+    )
+    assert result.shared[1] == 9
