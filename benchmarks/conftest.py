@@ -11,15 +11,21 @@ import os
 
 import pytest
 
-from repro.harness.experiment import ExperimentContext
+from repro.harness import ExperimentContext
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
 PROCESSORS = int(os.environ.get("REPRO_BENCH_PROCESSORS", "2"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture(scope="module")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(scale=SCALE, processors=PROCESSORS)
+    context = ExperimentContext(
+        scale=SCALE, processors=PROCESSORS, workers=WORKERS, cache=CACHE_DIR
+    )
+    yield context
+    context.close()
 
 
 def emit(text: str) -> None:

@@ -1,68 +1,65 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate a tiny program on every multithreading model.
+"""Quickstart: the programmatic API on a real application.
 
 Run with::
 
     python examples/quickstart.py
 
-This walks the full pipeline in ~40 lines: write a kernel in the
-assembly syntax, (optionally) run it through the Section 5.1 grouping
-post-processor, and execute it on machines with different context-switch
-models, comparing how well each hides the 200-cycle memory latency.
+Everything goes through the :mod:`repro.api` facade — no internal
+imports.  We take ``sor`` (the paper's worst case for switch-on-load:
+back-to-back stencil loads give 1–2 cycle run lengths) and ask every
+switch model to hide a 200-cycle memory latency, first one run at a
+time with :func:`repro.simulate`, then as a parallel, cached sweep with
+:func:`repro.sweep`.
 """
 
-from repro.isa import assemble, disassemble
-from repro.compiler import group_program
-from repro.machine import MachineConfig, Simulator, SwitchModel
+import repro
 
-# A thread that sums a shared vector: one load per element, back to back
-# with its use — the worst case for switch-on-load.
-KERNEL = """
-        li   r8, 0          ; index
-        li   r9, 64         ; length
-        li   r10, 0         ; accumulator
-    loop:
-        add  r11, r8, r0
-        lws  r12, 0(r11)    ; shared load (switch point under SOL)
-        add  r10, r10, r12
-        addi r8, r8, 1
-        bne  r8, r9, loop
-        sws  r10, 64(r0)    ; publish the result
-        halt
-"""
-
-
-def simulate(program, model, threads=8):
-    config = MachineConfig(
-        model=model,
-        num_processors=1,
-        threads_per_processor=threads,
-        latency=0 if model is SwitchModel.IDEAL else 200,
-    )
-    shared = list(range(64)) + [0] * 8
-    # Every thread runs the same code here; they race to sum the vector
-    # and the last store wins — fine for a timing demo.
-    sim = Simulator(program, config, shared, [{} for _ in range(threads)])
-    return sim.run()
+PROCESSORS = 2
+LEVEL = 4
+SCALE = "tiny"
 
 
 def main():
-    original = assemble(KERNEL, "sum64")
-    grouped = group_program(original)
+    print(f"applications: {', '.join(repro.list_apps())}")
+    print(f"switch models: {', '.join(repro.list_models())}")
+    print()
 
-    print("Grouped inner loop (note the explicit switch):\n")
-    print(disassemble(grouped))
+    # Single-configuration entry point: one blessed call, one result.
+    baseline = repro.simulate(
+        "sor", model="ideal", processors=1, level=1, scale=SCALE
+    )
+    t1 = baseline.wall_cycles
+    print(f"sor zero-latency single-processor time: {t1} cycles\n")
 
-    print(f"{'model':22s} {'wall cycles':>12s} {'mean run':>9s} {'switches':>9s}")
-    for model in SwitchModel:
-        code = grouped if model.wants_grouped_code else original
-        result = simulate(code, model)
-        assert result.shared[64] == sum(range(64))
+    # The same question for every model, as a sweep.  `workers=2` fans
+    # the simulations out over worker processes; results come back in
+    # input order and are identical to a serial run.
+    specs = [
+        repro.RunSpec.create(
+            "sor", model=model, processors=PROCESSORS, level=LEVEL, scale=SCALE
+        )
+        for model in repro.list_models()
+        if model != "ideal"
+    ]
+    results = repro.sweep(specs, workers=2)
+
+    print(f"{'model':22s} {'wall cycles':>12s} {'efficiency':>10s} "
+          f"{'mean run':>9s} {'switches':>9s}")
+    for spec, result in zip(specs, results):
         stats = result.stats
         print(
-            f"{model.value:22s} {result.wall_cycles:12d} "
+            f"{spec.model:22s} {result.wall_cycles:12d} "
+            f"{result.efficiency(t1):10.2f} "
             f"{stats.mean_run_length:9.1f} {stats.switches:9d}"
         )
+
+    # Results are plain data: round-trip one through JSON.
+    wire = results[0].to_dict()
+    restored = repro.SimulationResult.from_dict(wire)
+    assert restored.wall_cycles == results[0].wall_cycles
+    print("\nSimulationResult.to_dict()/from_dict() round-trips cleanly;")
+    print("pass cache='~/.cache/repro' to simulate()/sweep() to persist runs.")
 
 
 if __name__ == "__main__":

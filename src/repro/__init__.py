@@ -1,0 +1,45 @@
+"""Reproduction of Boothe & Ranade (ISCA 1992).
+
+The supported programmatic surface is re-exported here — users never
+need to import submodules::
+
+    import repro
+
+    repro.list_apps()
+    result = repro.simulate("sieve", model="explicit-switch",
+                            processors=2, level=4, scale="tiny")
+    results = repro.sweep([...], workers=4, cache="~/.cache/repro")
+
+See :mod:`repro.api` for the facade, :mod:`repro.engine` for the sweep
+engine underneath it, and ``repro-bench --help`` for the CLI.
+"""
+
+from repro.api import list_apps, list_models, simulate, sweep
+from repro.engine import Engine, ResultCache, RunSpec
+from repro.machine import (
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    SimStats,
+    SimulationResult,
+    SwitchModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "sweep",
+    "list_apps",
+    "list_models",
+    "RunSpec",
+    "Engine",
+    "ResultCache",
+    "SwitchModel",
+    "MachineConfig",
+    "CacheConfig",
+    "NetworkConfig",
+    "SimStats",
+    "SimulationResult",
+    "__version__",
+]

@@ -19,7 +19,7 @@ from repro.compiler.passes import prepare_for_model
 from repro.machine.config import MachineConfig
 from repro.machine.models import SwitchModel
 from repro.machine.simulator import SimulationResult
-from repro.runtime.loader import run_app
+from repro.runtime.execution import run_app
 
 EFFICIENCY_TARGETS: List[float] = [0.5, 0.6, 0.7, 0.8, 0.9]
 

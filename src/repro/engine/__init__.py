@@ -1,0 +1,32 @@
+"""Parallel experiment engine: sweeps as data, execution as a service.
+
+Exports the three building blocks:
+
+* :class:`~repro.engine.spec.RunSpec` — one hashable, picklable,
+  JSON-serializable simulation point;
+* :class:`~repro.engine.cache.ResultCache` — content-addressed on-disk
+  persistence, invalidated by code version;
+* :class:`~repro.engine.executor.Engine` — memoising executor that fans
+  sweeps out over worker processes with deterministic result ordering.
+"""
+
+from repro.engine.spec import RunSpec, DEFAULT_LATENCY
+from repro.engine.cache import ResultCache, code_version, default_cache_dir
+from repro.engine.executor import (
+    Engine,
+    EngineRunError,
+    execute_spec,
+    stderr_progress,
+)
+
+__all__ = [
+    "RunSpec",
+    "DEFAULT_LATENCY",
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "Engine",
+    "EngineRunError",
+    "execute_spec",
+    "stderr_progress",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed on-disk cache of completed simulation runs.
+
+Each completed :class:`~repro.engine.spec.RunSpec` is persisted as one
+JSON file under ``<root>/<code-version>/<spec-key>.json``, where the
+code version is a hash of every ``repro`` source file.  Keying by code
+version means a rebuilt simulator silently invalidates *all* prior
+results (stale numbers can never leak into a table), while repeated or
+interrupted sweeps at the same version resume instantly.
+
+Writes are atomic (temp file + ``os.replace``), so a run killed
+mid-write leaves no corrupt entries, and unreadable entries are treated
+as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``repro/**/*.py`` source file (sorted by relative
+    path) — the cache-invalidation fence."""
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Persistent spec-keyed store of run payloads (JSON dictionaries).
+
+    *version* defaults to :func:`code_version`; tests override it to
+    exercise invalidation without editing source files.
+    """
+
+    def __init__(self, root: Optional[Path] = None, version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def _bucket(self) -> Path:
+        return self.root / self.version
+
+    def _path(self, key: str) -> Path:
+        return self._bucket / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Stored payload for *key*, or ``None`` (corrupt entries count
+        as misses)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Atomically persist *payload* under *key*."""
+        self._bucket.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self._bucket, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(temp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self._bucket.is_dir():
+            return 0
+        return sum(1 for _ in self._bucket.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry at the current code version; returns the
+        number removed."""
+        removed = 0
+        if self._bucket.is_dir():
+            for path in self._bucket.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

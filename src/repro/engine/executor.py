@@ -1,0 +1,401 @@
+"""Fan-out execution of :class:`RunSpec` sweeps.
+
+The :class:`Engine` is the single funnel every simulation goes through:
+
+* **memo** — each spec key resolves to the same live
+  :class:`~repro.machine.simulator.SimulationResult` object within one
+  engine (what :class:`~repro.harness.context.ExperimentContext`'s
+  in-process memoisation used to do);
+* **disk cache** — completed runs are persisted through a
+  :class:`~repro.engine.cache.ResultCache`, so repeated or interrupted
+  sweeps resume instantly across processes;
+* **worker pool** — :meth:`Engine.run_many` executes cache-missing specs
+  across a ``ProcessPoolExecutor``; results are collected back in *input
+  order* regardless of completion order, so any sweep is byte-for-byte
+  identical to its serial execution.  With ``workers=1``, or on
+  platforms/sandboxes where a pool cannot be created, execution falls
+  back to a plain serial loop — same results, same order.
+
+Deterministic failures (a :class:`SimulationTimeout` from a bounded
+ablation run) are memoised and cached like results, and re-raised on
+every subsequent request for the same spec.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import multiprocessing
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.spec import RunSpec
+from repro.machine.simulator import SimulationResult, SimulationTimeout
+
+ProgressFn = Callable[[Dict], None]
+
+
+class EngineRunError(RuntimeError):
+    """A run failed inside the engine (worker crash, bad spec, per-run
+    timeout); the original error type/message is in ``args[0]``."""
+
+
+@functools.lru_cache(maxsize=64)
+def _build(app_name: str, nthreads: int, code_model: str, scale: str):
+    """Build (and lower) one application — cached per process, so level
+    sweeps inside a worker reuse the expensive program construction."""
+    from repro.apps.registry import get_app
+    from repro.compiler.passes import prepare_for_model
+    from repro.harness.sizes import scale_sizes
+    from repro.machine.models import SwitchModel
+
+    spec = get_app(app_name)
+    sizes = scale_sizes(scale)[app_name]
+    app = spec.build(nthreads, **sizes)
+    program = prepare_for_model(app.program, SwitchModel(code_model))
+    return app, program
+
+
+def execute_spec(spec: RunSpec, include_shared: bool = False) -> Dict:
+    """Simulate one spec and return its payload dictionary.
+
+    Runs in worker processes (top-level so it pickles) and in-process for
+    the serial path.  Never raises: failures come back as
+    ``{"error": {...}}`` payloads so a pool future cannot poison the
+    whole sweep.
+    """
+    from repro.runtime.execution import run_app
+
+    start = time.perf_counter()
+    try:
+        app, program = _build(
+            spec.app, spec.total_threads, spec.effective_code_model.value, spec.scale
+        )
+        result = run_app(app, spec.machine_config(), program=program)
+        return {
+            "spec": spec.to_dict(),
+            "result": result.to_dict(include_shared=include_shared),
+            "elapsed": time.perf_counter() - start,
+        }
+    except Exception as error:  # noqa: BLE001 — must cross process boundary
+        return {
+            "spec": spec.to_dict(),
+            "error": {"type": type(error).__name__, "message": str(error)},
+            "elapsed": time.perf_counter() - start,
+        }
+
+
+def _raise_payload_error(error: Dict) -> None:
+    if error["type"] == "SimulationTimeout":
+        raise SimulationTimeout(error["message"])
+    raise EngineRunError(f"{error['type']}: {error['message']}")
+
+
+def stderr_progress(event: Dict) -> None:
+    """Default progress sink: one line per completed run on stderr."""
+    print(
+        "[engine] {done}/{total} ({source}) {label} {elapsed:.2f}s".format(**event),
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+class Engine:
+    """Memoising, caching, parallel executor of simulation specs.
+
+    :param workers: worker processes for :meth:`run_many`; ``1`` means
+        serial in-process execution.
+    :param cache: a :class:`ResultCache`, a cache-directory path, or
+        ``None`` to disable on-disk persistence.
+    :param timeout: optional per-run wall-clock budget in seconds
+        (parallel mode only; a run exceeding it is recorded as failed).
+    :param progress: optional callback receiving one event dictionary
+        per completed/cached/failed run (see :func:`stderr_progress`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[ResultCache, str, None] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.timeout = timeout
+        self.progress = progress
+        self._memo: Dict[str, SimulationResult] = {}
+        self._failures: Dict[str, Dict] = {}
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self._counts = {"executed": 0, "cached": 0, "memo_hits": 0, "failed": 0}
+        self._simulated_cycles = 0
+        self._wall_time = 0.0
+        self._started = time.perf_counter()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """Build the worker pool lazily; fall back to serial on platforms
+        (or sandboxes) that cannot fork/spawn worker processes."""
+        if self.workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            except (OSError, ValueError, NotImplementedError) as error:
+                print(
+                    f"[engine] worker pool unavailable ({error}); "
+                    "falling back to serial execution",
+                    file=sys.stderr,
+                )
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _notify(self, spec: RunSpec, source: str, elapsed: float, total: int) -> None:
+        if self.progress is None:
+            return
+        done = sum(
+            self._counts[name] for name in ("executed", "cached", "failed")
+        )
+        self.progress(
+            {
+                "label": spec.label(),
+                "source": source,
+                "elapsed": elapsed,
+                "done": done,
+                "total": total,
+            }
+        )
+
+    def report(self) -> Dict:
+        """Machine-readable summary of everything this engine did."""
+        completed = self._counts["executed"] + self._counts["cached"]
+        return {
+            "executed": self._counts["executed"],
+            "cached": self._counts["cached"],
+            "memo_hits": self._counts["memo_hits"],
+            "failed": self._counts["failed"],
+            "completed": completed,
+            "cache_fraction": (
+                self._counts["cached"] / completed if completed else 0.0
+            ),
+            "simulated_cycles": self._simulated_cycles,
+            "run_seconds": round(self._wall_time, 3),
+            "wall_seconds": round(time.perf_counter() - self._started, 3),
+            "workers": self.workers,
+            "cache_dir": str(self.cache.root) if self.cache else None,
+        }
+
+    def summary_line(self) -> str:
+        """One-line human rendering of :meth:`report` (for stderr)."""
+        report = self.report()
+        cache_part = (
+            f", {report['cached']} from cache ({100 * report['cache_fraction']:.0f}%)"
+            if self.cache
+            else ""
+        )
+        return (
+            f"[engine] {report['completed']} runs "
+            f"({report['executed']} simulated{cache_part}, "
+            f"{report['failed']} failed, {report['memo_hits']} memo hits), "
+            f"{report['simulated_cycles']:,} cycles in {report['wall_seconds']:.1f}s "
+            f"with {report['workers']} worker(s)"
+        )
+
+    # -- payload plumbing ------------------------------------------------------
+
+    def _absorb(
+        self, spec: RunSpec, key: str, payload: Dict, source: str, total: int
+    ) -> Optional[SimulationResult]:
+        """Fold one payload into the memo + counters; returns the restored
+        result, or ``None`` (and records the failure) for error payloads."""
+        elapsed = float(payload.get("elapsed", 0.0))
+        self._wall_time += elapsed if source == "run" else 0.0
+        if "error" in payload:
+            self._failures[key] = payload["error"]
+            self._counts["failed"] += 1
+            self._notify(spec, "failed", elapsed, total)
+            return None
+        result = SimulationResult.from_dict(payload["result"])
+        self._memo[key] = result
+        if source == "run":
+            self._counts["executed"] += 1
+            self._simulated_cycles += result.wall_cycles
+        else:
+            self._counts["cached"] += 1
+        self._notify(spec, source, elapsed, total)
+        return result
+
+    def _from_disk(self, key: str) -> Optional[Dict]:
+        return self.cache.get(key) if self.cache is not None else None
+
+    def _persist(self, key: str, payload: Dict) -> None:
+        if self.cache is not None:
+            self.cache.put(key, payload)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Execute (or recall) one spec; raises on failure."""
+        key = spec.key()
+        if key in self._memo:
+            self._counts["memo_hits"] += 1
+            return self._memo[key]
+        if key in self._failures:
+            _raise_payload_error(self._failures[key])
+        payload = self._from_disk(key)
+        if payload is not None:
+            result = self._absorb(spec, key, payload, "cached", total=1)
+            if result is None:
+                _raise_payload_error(self._failures[key])
+            return result
+        live, payload = self._execute_local(spec)
+        self._persist(key, payload)
+        restored = self._absorb(spec, key, payload, "run", total=1)
+        if restored is None:
+            _raise_payload_error(self._failures[key])
+        # In-process execution produced a live result (shared memory and
+        # thread contexts attached); prefer it over the JSON round-trip so
+        # direct callers keep full fidelity.  Cached/parallel paths return
+        # the restored object — the analysis layer never needs more.
+        if live is not None:
+            self._memo[key] = live
+            return live
+        return restored
+
+    def _execute_local(
+        self, spec: RunSpec
+    ) -> Tuple[Optional[SimulationResult], Dict]:
+        """In-process execution returning (live result | None, payload)."""
+        from repro.runtime.execution import run_app
+
+        start = time.perf_counter()
+        try:
+            app, program = _build(
+                spec.app,
+                spec.total_threads,
+                spec.effective_code_model.value,
+                spec.scale,
+            )
+            result = run_app(app, spec.machine_config(), program=program)
+        except Exception as error:  # noqa: BLE001 — uniform failure payloads
+            return None, {
+                "spec": spec.to_dict(),
+                "error": {"type": type(error).__name__, "message": str(error)},
+                "elapsed": time.perf_counter() - start,
+            }
+        return result, {
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+            "elapsed": time.perf_counter() - start,
+        }
+
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        on_error: str = "raise",
+    ) -> List[Optional[SimulationResult]]:
+        """Execute a sweep; results come back in input order.
+
+        ``on_error="raise"`` re-raises the first failure (after the whole
+        sweep has been collected); ``on_error="record"`` leaves ``None``
+        in the failed slots — callers that *expect* timeouts (the
+        forced-interval ablation) use this and re-raise per spec later.
+        """
+        if on_error not in ("raise", "record"):
+            raise ValueError("on_error must be 'raise' or 'record'")
+        keys = [spec.key() for spec in specs]
+        total = len(specs)
+
+        # Resolve memo + disk hits first, and dedupe what remains.
+        pending: List[Tuple[int, RunSpec, str]] = []
+        claimed = set()
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            if key in self._memo or key in self._failures:
+                self._counts["memo_hits"] += 1
+                continue
+            payload = self._from_disk(key)
+            if payload is not None:
+                self._absorb(spec, key, payload, "cached", total)
+                continue
+            if key not in claimed:
+                claimed.add(key)
+                pending.append((index, spec, key))
+
+        pool = self._ensure_pool() if len(pending) > 1 else None
+        if pool is not None:
+            futures = [
+                (index, spec, key, pool.submit(execute_spec, spec))
+                for index, spec, key in pending
+            ]
+            for index, spec, key, future in futures:
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    payload = {
+                        "spec": spec.to_dict(),
+                        "error": {
+                            "type": "EngineRunError",
+                            "message": f"per-run timeout after {self.timeout}s",
+                        },
+                        "elapsed": self.timeout or 0.0,
+                    }
+                    # Wall-clock timeouts are machine load, not physics:
+                    # never persisted, so a retry gets a fresh chance.
+                    self._absorb(spec, key, payload, "run", total)
+                    continue
+                except concurrent.futures.process.BrokenProcessPool:
+                    # Pool died (OOM kill, sandbox): finish serially.
+                    self._pool_broken = True
+                    self._pool = None
+                    payload = execute_spec(spec)
+                self._persist(key, payload)
+                self._absorb(spec, key, payload, "run", total)
+        else:
+            for index, spec, key in pending:
+                live, payload = self._execute_local(spec)
+                self._persist(key, payload)
+                self._absorb(spec, key, payload, "run", total)
+                if live is not None:
+                    self._memo[key] = live
+
+        results: List[Optional[SimulationResult]] = []
+        first_failure: Optional[Dict] = None
+        for spec, key in zip(specs, keys):
+            if key in self._failures:
+                if first_failure is None:
+                    first_failure = self._failures[key]
+                results.append(None)
+            else:
+                results.append(self._memo[key])
+        if first_failure is not None and on_error == "raise":
+            _raise_payload_error(first_failure)
+        return results

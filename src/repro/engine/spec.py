@@ -1,0 +1,203 @@
+"""Self-describing simulation points: the unit of work of the engine.
+
+A :class:`RunSpec` names everything needed to reproduce one simulation —
+application, problem scale, switch model, machine shape, latency,
+config overrides — *without* holding any live objects, so it can be
+hashed (for the on-disk result cache), pickled (to worker processes)
+and serialized to JSON (for ``results.json``).  Every sweep in the
+harness is "a list of RunSpecs"; the engine owns how that list gets
+executed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Tuple, Union
+
+from repro.machine.config import (
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    normalize_config_kwargs,
+)
+from repro.machine.models import SwitchModel
+
+#: The paper's round-trip shared-memory latency, used when a spec leaves
+#: ``latency`` unresolved.
+DEFAULT_LATENCY = 200
+
+#: Override values may be dataclass configs; they are tagged on the way
+#: into JSON so ``from_dict`` can rebuild them.
+_OVERRIDE_KINDS = {"CacheConfig": CacheConfig, "NetworkConfig": NetworkConfig}
+
+
+def _encode_override(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__kind__": type(value).__name__, **dataclasses.asdict(value)}
+    return value
+
+
+def _decode_override(value):
+    if isinstance(value, dict) and "__kind__" in value:
+        payload = dict(value)
+        kind = payload.pop("__kind__")
+        try:
+            return _OVERRIDE_KINDS[kind](**payload)
+        except KeyError:
+            raise ValueError(f"unknown override kind {kind!r}") from None
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One point of an experiment sweep.
+
+    ``model`` is stored as the :class:`SwitchModel` *value* string so the
+    spec stays JSON-native; use :attr:`switch_model` for the enum.
+    ``code_model`` optionally lowers the program for a *different* model
+    than the machine runs (e.g. Table 5's "grouped code on the ideal
+    machine" reorganisation-penalty run).  ``overrides`` are extra
+    :class:`MachineConfig` keyword arguments as a sorted tuple of pairs.
+    """
+
+    app: str
+    model: str = SwitchModel.SWITCH_ON_LOAD.value
+    processors: int = 1
+    level: int = 1
+    scale: str = "small"
+    latency: Optional[int] = None
+    oracle: bool = False
+    code_model: Optional[str] = None
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.model, SwitchModel):
+            object.__setattr__(self, "model", self.model.value)
+        else:
+            SwitchModel(self.model)  # validate the spelling early
+        if isinstance(self.code_model, SwitchModel):
+            object.__setattr__(self, "code_model", self.code_model.value)
+        elif self.code_model is not None:
+            SwitchModel(self.code_model)
+        if isinstance(self.overrides, dict):
+            object.__setattr__(
+                self, "overrides", tuple(sorted(self.overrides.items()))
+            )
+        else:
+            object.__setattr__(self, "overrides", tuple(self.overrides))
+        if self.processors < 1 or self.level < 1:
+            raise ValueError("processors and level must be >= 1")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        app: str,
+        model: Union[str, SwitchModel] = SwitchModel.SWITCH_ON_LOAD,
+        **kwargs,
+    ) -> "RunSpec":
+        """Build a spec accepting either keyword spelling
+        (``processors``/``num_processors``, ``level``/``threads_per_processor``);
+        unknown keywords become config ``overrides``."""
+        kwargs = normalize_config_kwargs(kwargs)
+        if "num_processors" in kwargs:
+            kwargs["processors"] = kwargs.pop("num_processors")
+        if "threads_per_processor" in kwargs:
+            kwargs["level"] = kwargs.pop("threads_per_processor")
+        fields = {field.name for field in dataclasses.fields(cls)}
+        overrides = dict(kwargs.pop("overrides", ()))
+        for key in list(kwargs):
+            if key not in fields:
+                overrides[key] = kwargs.pop(key)
+        return cls(app=app, model=model, overrides=tuple(sorted(overrides.items())), **kwargs)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def switch_model(self) -> SwitchModel:
+        return SwitchModel(self.model)
+
+    @property
+    def effective_latency(self) -> int:
+        """Concrete round-trip latency: explicit value, else the paper
+        default (0 on the ideal machine)."""
+        if self.latency is not None:
+            return self.latency
+        return 0 if self.switch_model is SwitchModel.IDEAL else DEFAULT_LATENCY
+
+    @property
+    def effective_code_model(self) -> SwitchModel:
+        """Model the program is lowered for (defaults to the machine model)."""
+        return SwitchModel(self.code_model) if self.code_model else self.switch_model
+
+    @property
+    def total_threads(self) -> int:
+        return self.processors * self.level
+
+    def machine_config(self) -> MachineConfig:
+        """The :class:`MachineConfig` this spec describes."""
+        return MachineConfig(
+            model=self.switch_model,
+            num_processors=self.processors,
+            threads_per_processor=self.level,
+            latency=self.effective_latency,
+            interblock_oracle=self.oracle,
+            **dict(self.overrides),
+        )
+
+    # -- serialization / hashing ----------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "app": self.app,
+            "model": self.model,
+            "processors": self.processors,
+            "level": self.level,
+            "scale": self.scale,
+            "latency": self.effective_latency,
+            "oracle": self.oracle,
+            "code_model": self.code_model,
+            "overrides": [
+                [key, _encode_override(value)] for key, value in self.overrides
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunSpec":
+        return cls(
+            app=data["app"],
+            model=data["model"],
+            processors=data.get("processors", 1),
+            level=data.get("level", 1),
+            scale=data.get("scale", "small"),
+            latency=data.get("latency"),
+            oracle=data.get("oracle", False),
+            code_model=data.get("code_model"),
+            overrides=tuple(
+                (key, _decode_override(value))
+                for key, value in data.get("overrides", [])
+            ),
+        )
+
+    def key(self) -> str:
+        """Stable content hash (latency resolved, overrides sorted) —
+        the memo / cache-file key."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        extras = ""
+        if self.oracle:
+            extras += " oracle"
+        if self.overrides:
+            extras += " +" + ",".join(key for key, _ in self.overrides)
+        return (
+            f"{self.app}/{self.model} P{self.processors} M{self.level} "
+            f"L{self.effective_latency} ({self.scale}){extras}"
+        )

@@ -11,7 +11,7 @@ Each returns a rendered text block plus structured data, so tests can
 assert on the numbers and the CLI can print the table.
 """
 
-from repro.harness.experiment import ExperimentContext
+from repro.harness.context import ExperimentContext
 from repro.harness.sizes import SCALES, scale_sizes
 
 __all__ = ["ExperimentContext", "SCALES", "scale_sizes"]

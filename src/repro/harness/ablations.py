@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.tablefmt import TextTable
 from repro.machine.models import SwitchModel
-from repro.harness.experiment import ExperimentContext
+from repro.harness.context import ExperimentContext
 
 _SWEEP_MODELS = [
     SwitchModel.SWITCH_ON_LOAD,
@@ -41,6 +41,11 @@ def latency_sweep(
         ["model"] + [f"{lat} cy" for lat in latencies],
     )
     data: Dict[str, Dict[int, float]] = {}
+    ctx.prefetch(
+        ctx.spec(app_name, model, ctx.processors, level, latency=latency)
+        for model in _SWEEP_MODELS
+        for latency in latencies
+    )
     for model in _SWEEP_MODELS:
         series = {}
         for latency in latencies:
@@ -65,6 +70,11 @@ def model_shootout(
         ["model", "efficiency", "mean run", "switches"],
     )
     data: Dict[str, Dict] = {}
+    ctx.prefetch(
+        ctx.spec(app_name, model, ctx.processors, level)
+        for model in SwitchModel
+        if model is not SwitchModel.IDEAL
+    )
     for model in SwitchModel:
         if model is SwitchModel.IDEAL:
             continue
@@ -99,6 +109,13 @@ def switch_cost_sensitivity(
         ["flush cost"] + ["efficiency"],
     )
     data: Dict[int, float] = {}
+    ctx.prefetch(
+        ctx.spec(
+            app_name, SwitchModel.SWITCH_ON_MISS, ctx.processors, level,
+            switch_cost=cost,
+        )
+        for cost in costs
+    )
     for cost in costs:
         result = ctx.run(
             app_name,
@@ -134,6 +151,20 @@ def forced_interval_study(
     budget = 40 * ctx.t1(app_name)
     from repro.machine.simulator import SimulationTimeout
 
+    # Prefetch with failures recorded, not raised: a livelocked interval
+    # surfaces as the memoised SimulationTimeout below, exactly where the
+    # serial loop would hit it.
+    ctx.prefetch(
+        ctx.spec(
+            app_name,
+            SwitchModel.CONDITIONAL_SWITCH,
+            ctx.processors,
+            level,
+            forced_switch_interval=interval,
+            max_cycles=budget,
+        )
+        for interval in intervals
+    )
     for interval in intervals:
         try:
             result = ctx.run(
@@ -183,6 +214,11 @@ def jitter_study(
         ["model"] + [f"+U[0,{j}]" for j in jitters],
     )
     data: Dict[str, Dict[int, float]] = {}
+    ctx.prefetch(
+        ctx.spec(app_name, model, ctx.processors, level, latency_jitter=jitter)
+        for model in (SwitchModel.SWITCH_ON_LOAD, SwitchModel.EXPLICIT_SWITCH)
+        for jitter in jitters
+    )
     for model in (SwitchModel.SWITCH_ON_LOAD, SwitchModel.EXPLICIT_SWITCH):
         series = {}
         for jitter in jitters:

@@ -2,21 +2,32 @@
 
 Examples::
 
-    repro-bench table2                # run-length distributions, small scale
+    repro-bench table2                    # run-length distributions, small scale
     repro-bench table5 --scale medium
-    repro-bench all                   # every table and figure
+    repro-bench all --workers 8           # every table/figure, fanned out
     repro-bench figure3 --processors 8
-    repro-bench ablations
+    repro-bench table2 --json results.json
+    repro-bench ablations --no-cache
+
+Completed simulations persist to an on-disk cache (``~/.cache/repro`` or
+``--cache-dir``), keyed by configuration *and* code version, so repeated
+and interrupted invocations resume instantly; ``--no-cache`` disables
+persistence.  ``--workers N`` runs each sweep across N worker processes
+— the rendered output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import enum
+import json
 import sys
 import time
-from typing import List
+from typing import Dict, List
 
-from repro.harness.experiment import ExperimentContext
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.executor import Engine, stderr_progress
+from repro.harness.context import ExperimentContext
 from repro.harness.tables import ALL_TABLES
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.ablations import ALL_ABLATIONS
@@ -28,6 +39,23 @@ def _targets() -> List[str]:
         + sorted(ALL_FIGURES)
         + ["ablations", "all"]
     )
+
+
+def _jsonify(value):
+    """Best-effort conversion of generator data to JSON-native types
+    (float/enum dictionary keys, tuples, graphs...)."""
+    if isinstance(value, dict):
+        return {
+            (key.value if isinstance(key, enum.Enum) else str(key)): _jsonify(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
 
 
 def main(argv=None) -> int:
@@ -51,10 +79,52 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--latency", type=int, default=200, help="round-trip latency in cycles"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep execution (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=f"result-cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="results.json",
+        default=None,
+        metavar="PATH",
+        help="also write structured results + engine report as JSON "
+        "(default path: results.json)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run progress lines on stderr",
+    )
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = Engine(
+        workers=args.workers,
+        cache=cache,
+        progress=None if args.quiet else stderr_progress,
+    )
     ctx = ExperimentContext(
-        scale=args.scale, latency=args.latency, processors=args.processors
+        scale=args.scale,
+        latency=args.latency,
+        processors=args.processors,
+        engine=engine,
     )
 
     if args.target == "all":
@@ -64,17 +134,46 @@ def main(argv=None) -> int:
     else:
         names = [args.target]
 
-    for name in names:
-        start = time.time()
-        if name in ALL_TABLES:
-            text, _data = ALL_TABLES[name](ctx)
-        elif name in ALL_FIGURES:
-            text, _data = ALL_FIGURES[name](ctx)
-        else:
-            text, _data = ALL_ABLATIONS[name](ctx)
-        print(text)
-        print(f"[{name}: {time.time() - start:.1f}s]")
-        print()
+    targets_out: Dict[str, Dict] = {}
+    try:
+        for name in names:
+            start = time.time()
+            if name in ALL_TABLES:
+                text, data = ALL_TABLES[name](ctx)
+            elif name in ALL_FIGURES:
+                text, data = ALL_FIGURES[name](ctx)
+            else:
+                text, data = ALL_ABLATIONS[name](ctx)
+            elapsed = time.time() - start
+            print(text)
+            print()
+            # Timing is run-dependent noise — keep stdout byte-identical
+            # across worker counts and cache states.
+            print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+            targets_out[name] = {
+                "text": text,
+                "data": _jsonify(data),
+                "seconds": round(elapsed, 3),
+            }
+        print(engine.summary_line(), file=sys.stderr)
+        if args.json:
+            document = {
+                "target": args.target,
+                "options": {
+                    "scale": args.scale,
+                    "processors": args.processors,
+                    "latency": args.latency,
+                    "workers": args.workers,
+                    "cache": not args.no_cache,
+                },
+                "targets": targets_out,
+                "engine": engine.report(),
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+            print(f"[engine] wrote {args.json}", file=sys.stderr)
+    finally:
+        ctx.close()
     return 0
 
 

@@ -1,151 +1,29 @@
-"""Experiment context: shared configuration plus a result cache.
+"""Deprecated module — the context now lives in :mod:`repro.harness.context`.
 
-Every table/figure generator works through an :class:`ExperimentContext`,
-which pins the scale (problem sizes), the machine defaults (200-cycle
-latency, experiment processor count) and memoises simulation results —
-the multithreading-level searches of Tables 3/5/6/8 revisit many of the
-same configurations.
+``from repro.harness.experiment import ExperimentContext`` still works
+but emits a :class:`DeprecationWarning`; import it from
+:mod:`repro.harness` (or use the :mod:`repro.api` facade, which covers
+the common cases without a context object at all).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
-
-from repro.apps.base import AppSpec
-from repro.apps.registry import ALL_APPS, get_app
-from repro.compiler.passes import prepare_for_model
-from repro.isa.program import Program
-from repro.machine.config import MachineConfig
-from repro.machine.models import SwitchModel
-from repro.machine.simulator import SimulationResult
-from repro.runtime.loader import run_app
-from repro.harness.sizes import scale_sizes
+import warnings
 
 
-class ExperimentContext:
-    """Scale + machine defaults + memoised simulation results."""
-
-    def __init__(
-        self,
-        scale: str = "small",
-        latency: int = 200,
-        processors: int = 2,
-        max_level: int = 24,
-    ):
-        self.scale = scale
-        self.sizes = scale_sizes(scale)
-        self.latency = latency
-        #: Processor count used by the multithreading-level tables.
-        self.processors = processors
-        self.max_level = max_level
-        self._results: Dict[Tuple, SimulationResult] = {}
-        self._t1: Dict[str, int] = {}
-        self._programs: Dict[Tuple[str, int, SwitchModel], Program] = {}
-
-    # -- building blocks ---------------------------------------------------------
-
-    def apps(self):
-        return list(ALL_APPS)
-
-    def size_of(self, app_name: str) -> Dict:
-        return dict(self.sizes[app_name])
-
-    def config(self, model: SwitchModel, processors: int, level: int, **extra):
-        return MachineConfig(
-            model=model,
-            num_processors=processors,
-            threads_per_processor=level,
-            latency=0 if model is SwitchModel.IDEAL else self.latency,
-            **extra,
+def __getattr__(name):
+    if name == "ExperimentContext":
+        warnings.warn(
+            "repro.harness.experiment.ExperimentContext is deprecated; import "
+            "it from repro.harness (or use repro.api.simulate / repro.api.sweep)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.harness.context import ExperimentContext
 
-    def _program_for(self, spec: AppSpec, nthreads: int, model: SwitchModel):
-        key = (spec.name, nthreads, model)
-        if key not in self._programs:
-            app = spec.build(nthreads, **self.size_of(spec.name))
-            self._programs[key] = (app, prepare_for_model(app.program, model))
-        return self._programs[key]
+        return ExperimentContext
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    # -- cached simulation ---------------------------------------------------------
 
-    def run(
-        self,
-        app_name: str,
-        model: SwitchModel,
-        processors: int,
-        level: int,
-        oracle: bool = False,
-        latency: Optional[int] = None,
-        **config_extra,
-    ) -> SimulationResult:
-        """Simulate one configuration (memoised)."""
-        effective_latency = (
-            latency
-            if latency is not None
-            else (0 if model is SwitchModel.IDEAL else self.latency)
-        )
-        key = (
-            app_name,
-            model,
-            processors,
-            level,
-            oracle,
-            effective_latency,
-            tuple(sorted(config_extra.items())),
-        )
-        if key in self._results:
-            return self._results[key]
-        spec = get_app(app_name)
-        app, program = self._program_for(spec, processors * level, model)
-        config = MachineConfig(
-            model=model,
-            num_processors=processors,
-            threads_per_processor=level,
-            latency=effective_latency,
-            interblock_oracle=oracle,
-            **config_extra,
-        )
-        result = run_app(app, config, program=program)
-        self._results[key] = result
-        return result
-
-    def t1(self, app_name: str) -> int:
-        """Single-processor zero-latency cycles (efficiency baseline)."""
-        if app_name not in self._t1:
-            result = self.run(app_name, SwitchModel.IDEAL, 1, 1)
-            self._t1[app_name] = result.wall_cycles
-        return self._t1[app_name]
-
-    def efficiency(self, result: SimulationResult, app_name: str) -> float:
-        return result.efficiency(self.t1(app_name))
-
-    # -- multithreading-level search ----------------------------------------------
-
-    def mt_levels(
-        self,
-        app_name: str,
-        model: SwitchModel,
-        targets=(0.5, 0.6, 0.7, 0.8, 0.9),
-        oracle: bool = False,
-    ) -> Dict[float, Optional[int]]:
-        """Threads/processor needed for each efficiency target
-        (``None`` = unreachable at this problem size)."""
-        needed: Dict[float, Optional[int]] = {t: None for t in targets}
-        best = -1.0
-        stale = 0
-        for level in range(1, self.max_level + 1):
-            result = self.run(app_name, model, self.processors, level, oracle=oracle)
-            efficiency = self.efficiency(result, app_name)
-            for target in targets:
-                if needed[target] is None and efficiency >= target:
-                    needed[target] = level
-            if all(value is not None for value in needed.values()):
-                break
-            if efficiency > best + 1e-9:
-                best = efficiency
-                stale = 0
-            else:
-                stale += 1
-                if stale >= 3:
-                    break
-        return needed
+def __dir__():
+    return sorted(list(globals()) + ["ExperimentContext"])

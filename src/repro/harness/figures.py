@@ -14,7 +14,7 @@ from repro.compiler.grouping import group_block
 from repro.compiler.passes import prepare_for_model
 from repro.isa.opcodes import Op
 from repro.machine.models import SwitchModel
-from repro.harness.experiment import ExperimentContext
+from repro.harness.context import ExperimentContext
 
 #: The paper's Figure 1: evolution of multithreading models.
 _FIGURE1_EDGES = [
@@ -55,6 +55,11 @@ def figure2(
         ["application"] + [f"P={p}" for p in processor_counts],
     )
     data: Dict[str, Dict[int, float]] = {}
+    ctx.prefetch(
+        ctx.spec(spec.name, SwitchModel.IDEAL, processors, 1)
+        for spec in ctx.apps()
+        for processors in processor_counts
+    )
     for spec in ctx.apps():
         series = {}
         for processors in processor_counts:
@@ -82,6 +87,17 @@ def figure3(
         ["series"] + [f"P={p}" for p in processor_counts],
     )
     data: Dict[str, Dict[int, float]] = {}
+    ctx.prefetch(
+        [
+            ctx.spec("sieve", SwitchModel.IDEAL, processors, 1)
+            for processors in processor_counts
+        ]
+        + [
+            ctx.spec("sieve", SwitchModel.SWITCH_ON_LOAD, processors, level)
+            for level in levels
+            for processors in processor_counts
+        ]
+    )
     ideal = {}
     for processors in processor_counts:
         result = ctx.run("sieve", SwitchModel.IDEAL, processors, 1)

@@ -10,9 +10,40 @@ write-invalidate directory.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import hashlib
+import json
+from typing import Dict, Optional
 
 from repro.machine.models import SwitchModel
+
+#: Canonical names for the keyword spellings that historically diverged
+#: between :class:`MachineConfig` (``num_processors``/``threads_per_processor``)
+#: and the harness/CLI (``processors``/``level``).  Everything new goes
+#: through :func:`normalize_config_kwargs` so both spellings are accepted
+#: and exactly one survives.
+_KWARG_ALIASES: Dict[str, str] = {
+    "processors": "num_processors",
+    "level": "threads_per_processor",
+    "threads": "threads_per_processor",
+}
+
+
+def normalize_config_kwargs(kwargs: Dict) -> Dict:
+    """Map alias keyword spellings onto the canonical dataclass fields.
+
+    ``processors`` -> ``num_processors`` and ``level`` (or ``threads``)
+    -> ``threads_per_processor``.  Supplying an alias *and* its canonical
+    form is ambiguous and raises ``TypeError``.
+    """
+    normalized = dict(kwargs)
+    for alias, canonical in _KWARG_ALIASES.items():
+        if alias in normalized:
+            if canonical in normalized:
+                raise TypeError(
+                    f"got both {alias!r} and {canonical!r}; pass exactly one"
+                )
+            normalized[canonical] = normalized.pop(alias)
+    return normalized
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,6 +145,61 @@ class MachineConfig:
     def total_threads(self) -> int:
         return self.num_processors * self.threads_per_processor
 
+    #: Alias properties for the harness/CLI spellings (see
+    #: :func:`normalize_config_kwargs`).
+    @property
+    def processors(self) -> int:
+        return self.num_processors
+
+    @property
+    def level(self) -> int:
+        return self.threads_per_processor
+
+    @classmethod
+    def create(cls, **kwargs) -> "MachineConfig":
+        """Construct a config accepting either keyword spelling
+        (``processors``/``num_processors``, ``level``/``threads_per_processor``)."""
+        return cls(**normalize_config_kwargs(kwargs))
+
     def replace(self, **changes) -> "MachineConfig":
-        """Convenience wrapper around :func:`dataclasses.replace`."""
-        return dataclasses.replace(self, **changes)
+        """Convenience wrapper around :func:`dataclasses.replace`
+        (alias spellings accepted)."""
+        return dataclasses.replace(self, **normalize_config_kwargs(changes))
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dictionary; inverse of :meth:`from_dict`."""
+        out = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name == "model":
+                value = value.value
+            elif field.name in ("cache", "network"):
+                value = dataclasses.asdict(value) if value is not None else None
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MachineConfig":
+        data = dict(data)
+        data["model"] = SwitchModel(data["model"])
+        if data.get("cache") is not None:
+            data["cache"] = CacheConfig(**data["cache"])
+        if data.get("network") is not None:
+            data["network"] = NetworkConfig(**data["network"])
+        else:
+            data.pop("network", None)
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def config_key(self) -> str:
+        """Stable content hash of this configuration.
+
+        Explicit, versioned hashing (canonical-JSON SHA-256 prefix) rather
+        than dataclass ``hash()`` — the result is reproducible across
+        processes and Python versions, which the on-disk result cache
+        relies on.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -69,6 +69,39 @@ class SimulationResult:
         speedup = single_thread_cycles / self.wall_cycles
         return speedup / self.config.num_processors
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self, include_shared: bool = False) -> dict:
+        """JSON-safe dictionary; inverse of :meth:`from_dict`.
+
+        Thread contexts and the program are *not* serialized — a restored
+        result carries everything the analysis layer consumes (wall
+        cycles, the full :class:`~repro.machine.stats.SimStats`, the
+        machine configuration) but ``threads`` is empty and ``program``
+        is ``None``.  Pass ``include_shared=True`` to also keep the final
+        shared-memory image (useful for correctness archaeology; omitted
+        by default because it can dominate the cache-entry size).
+        """
+        out = {
+            "wall_cycles": self.wall_cycles,
+            "stats": self.stats.to_dict(),
+            "config": self.config.to_dict(),
+        }
+        if include_shared:
+            out["shared"] = list(self.shared)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        return cls(
+            wall_cycles=data["wall_cycles"],
+            stats=SimStats.from_dict(data["stats"]),
+            shared=list(data.get("shared", [])),
+            threads=[],
+            config=MachineConfig.from_dict(data["config"]),
+            program=None,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<SimulationResult wall={self.wall_cycles} "

@@ -17,6 +17,7 @@ quantities mirror the paper's measurements:
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from typing import Dict, List
 
@@ -156,6 +157,68 @@ class SimStats:
         if not self.switches:
             return float(loads)
         return loads / self.switches
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dictionary capturing every counter; inverse of
+        :meth:`from_dict`.  Run lengths are keyed by the (stringified)
+        length, message counts by the :class:`MsgKind` name."""
+        return {
+            "num_processors": self.num_processors,
+            "network": dataclasses.asdict(self._network),
+            "line_words": self._line_words,
+            "instructions": self.instructions,
+            "busy_cycles": self.busy_cycles,
+            "per_proc_busy": list(self.per_proc_busy),
+            "per_proc_idle": list(self.per_proc_idle),
+            "switches": self.switches,
+            "skipped_switches": self.skipped_switches,
+            "forced_switches": self.forced_switches,
+            "implicit_use_switches": self.implicit_use_switches,
+            "switch_overhead_cycles": self.switch_overhead_cycles,
+            "run_lengths": {str(length): count
+                            for length, count in sorted(self.run_lengths.items())},
+            "msg_counts": {kind.name: count
+                           for kind, count in sorted(self.msg_counts.items(),
+                                                     key=lambda item: item[0].name)},
+            "fwd_bits": self.fwd_bits,
+            "ret_bits": self.ret_bits,
+            "sync_msgs": self.sync_msgs,
+            "sync_bits": self.sync_bits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_merged": self.cache_merged,
+            "oracle_hits": self.oracle_hits,
+            "oracle_misses": self.oracle_misses,
+            "wall_cycles": self.wall_cycles,
+            "halted_threads": self.halted_threads,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        stats = cls(
+            data["num_processors"],
+            NetworkConfig(**data["network"]),
+            data.get("line_words", 8),
+        )
+        for field in (
+            "instructions", "busy_cycles", "switches", "skipped_switches",
+            "forced_switches", "implicit_use_switches", "switch_overhead_cycles",
+            "fwd_bits", "ret_bits", "sync_msgs", "sync_bits",
+            "cache_hits", "cache_misses", "cache_merged",
+            "oracle_hits", "oracle_misses", "wall_cycles", "halted_threads",
+        ):
+            setattr(stats, field, data[field])
+        stats.per_proc_busy = list(data["per_proc_busy"])
+        stats.per_proc_idle = list(data["per_proc_idle"])
+        stats.run_lengths = Counter(
+            {int(length): count for length, count in data["run_lengths"].items()}
+        )
+        stats.msg_counts = Counter(
+            {MsgKind[name]: count for name, count in data["msg_counts"].items()}
+        )
+        return stats
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline numbers (handy for tests/CLI)."""

@@ -11,13 +11,13 @@ spinning (Section 3).  This package provides the equivalents:
   sense-counting barriers and Fetch-and-Add work counters, emitted into a
   :class:`~repro.isa.builder.ProgramBuilder` (spin traffic carries the
   ``sync`` mark so the bandwidth table can exclude it, as the paper does);
-* :func:`~repro.runtime.loader.make_simulator` — lay a built application
-  onto a configured machine, setting each thread's id/thread-count/
-  argument registers.
+* :func:`~repro.runtime.execution.make_simulator` — lay a built
+  application onto a configured machine, setting each thread's
+  id/thread-count/argument registers.
 """
 
 from repro.runtime.layout import SharedLayout
-from repro.runtime.loader import make_simulator, run_app
+from repro.runtime.execution import make_simulator, run_app
 from repro.runtime.sync import (
     emit_lock_acquire,
     emit_lock_release,

@@ -1,63 +1,31 @@
-"""Load a built application onto a configured machine.
+"""Deprecated module — the loader now lives in :mod:`repro.runtime.execution`.
 
-The loader plays the role of the fork step in the paper's applications:
-it materialises the shared-memory image, creates one thread context per
-simulated process, and sets the convention registers — ``r4`` thread id,
-``r5`` thread count, ``r6`` argument-block base — before the machine
-starts at cycle zero.
+Importing :func:`make_simulator`/:func:`run_app` from here still works
+but emits a :class:`DeprecationWarning`; new code should call
+:func:`repro.api.simulate` (registered applications) or
+:mod:`repro.runtime.execution` (custom ``BuiltApp`` objects).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import warnings
 
-from repro.isa.registers import TID_REG, NTHREADS_REG, ARGS_REG
-from repro.machine.config import MachineConfig
-from repro.machine.simulator import Simulator, SimulationResult
+from repro.runtime import execution as _execution
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.apps.base import BuiltApp
-    from repro.isa.program import Program
+_FORWARDED = ("make_simulator", "run_app")
 
 
-def make_simulator(
-    app: "BuiltApp", config: MachineConfig, program: "Program | None" = None
-) -> Simulator:
-    """Build a ready-to-run simulator for *app* on *config*.
-
-    *program* overrides the application's original code (pass the output
-    of :func:`repro.compiler.prepare_for_model` to run transformed code).
-    The application must have been built for ``config.total_threads``
-    threads.
-    """
-    if app.nthreads != config.total_threads:
-        raise ValueError(
-            f"application {app.name!r} was built for {app.nthreads} threads "
-            f"but the machine has {config.total_threads}"
+def __getattr__(name):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.runtime.loader.{name} is deprecated; use "
+            f"repro.api.simulate or repro.runtime.execution.{name}",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    thread_registers = []
-    for tid in range(config.total_threads):
-        regs = {TID_REG: tid, NTHREADS_REG: config.total_threads}
-        if app.args_base is not None:
-            regs[ARGS_REG] = app.args_base
-        thread_registers.append(regs)
-    return Simulator(
-        program if program is not None else app.program,
-        config,
-        list(app.shared),
-        thread_registers,
-        local_size=app.local_size,
-    )
+        return getattr(_execution, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def run_app(
-    app: "BuiltApp",
-    config: MachineConfig,
-    program: "Program | None" = None,
-    check: bool = True,
-) -> SimulationResult:
-    """Simulate *app* on *config* and (by default) verify its result."""
-    result = make_simulator(app, config, program).run()
-    if check and app.check is not None:
-        app.check(result.shared)
-    return result
+def __dir__():
+    return sorted(list(globals()) + list(_FORWARDED))

@@ -13,7 +13,7 @@ from repro.analysis import (
 from repro.analysis.runlength import format_row_cells, RUN_BIN_LABELS
 from repro.apps import get_app
 from repro.compiler.interblock import oracle_config, estimate
-from repro.harness.experiment import ExperimentContext
+from repro.harness import ExperimentContext
 from repro.harness.sizes import scale_sizes, SCALES
 from repro.harness import tables as T
 from repro.harness import figures as F

@@ -1,0 +1,116 @@
+"""The repro.api facade and the deprecation shims over the old paths."""
+
+import pytest
+
+import repro
+from repro.api import list_apps, list_models, simulate, sweep
+from repro.engine import RunSpec
+from repro.machine import SimulationResult, SwitchModel
+
+
+def test_list_apps_and_models():
+    assert list_apps() == [
+        "sieve", "blkmat", "sor", "ugray", "water", "locus", "mp3d"
+    ]
+    assert "switch-on-load" in list_models()
+    assert len(list_models()) == len(SwitchModel)
+
+
+def test_simulate_basic():
+    result = simulate(
+        "sieve", model="switch-on-load", processors=2, level=2, scale="tiny"
+    )
+    assert isinstance(result, SimulationResult)
+    assert result.wall_cycles > 0
+    assert result.config.num_processors == 2
+    assert result.config.threads_per_processor == 2
+
+
+def test_simulate_accepts_enum_and_alias_overrides():
+    result = simulate(
+        "sor",
+        model=SwitchModel.EXPLICIT_SWITCH,
+        processors=1,
+        level=2,
+        scale="tiny",
+        latency=100,
+        switch_cost=0,
+    )
+    assert result.config.model is SwitchModel.EXPLICIT_SWITCH
+    assert result.config.latency == 100
+
+
+def test_simulate_ideal_defaults_to_zero_latency():
+    result = simulate("sieve", model="ideal", scale="tiny")
+    assert result.config.latency == 0
+
+
+def test_simulate_uses_disk_cache(tmp_path):
+    first = simulate("sieve", model="switch-on-load", processors=2, level=2,
+                     scale="tiny", cache=str(tmp_path))
+    second = simulate("sieve", model="switch-on-load", processors=2, level=2,
+                      scale="tiny", cache=str(tmp_path))
+    assert second.wall_cycles == first.wall_cycles
+    assert any(tmp_path.rglob("*.json"))
+
+
+def test_sweep_accepts_dicts_and_specs():
+    results = sweep(
+        [
+            RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                    scale="tiny"),
+            {"app": "sor", "model": "switch-on-load", "processors": 2,
+             "level": 2, "scale": "tiny"},
+        ]
+    )
+    assert len(results) == 2
+    assert all(result.wall_cycles > 0 for result in results)
+
+
+def test_sweep_rejects_garbage():
+    with pytest.raises(TypeError):
+        sweep([object()])
+
+
+def test_top_level_exports():
+    for name in ("simulate", "sweep", "list_apps", "list_models", "RunSpec",
+                 "Engine", "ResultCache", "SwitchModel", "MachineConfig",
+                 "SimulationResult", "SimStats"):
+        assert hasattr(repro, name), name
+
+
+# -- deprecation shims --------------------------------------------------------
+
+
+def test_loader_shim_warns_and_works():
+    import repro.runtime.loader as loader
+
+    with pytest.deprecated_call(match="repro.runtime.loader.run_app"):
+        run_app = loader.run_app
+    from repro.runtime.execution import run_app as canonical
+    assert run_app is canonical
+    with pytest.deprecated_call():
+        loader.make_simulator
+    with pytest.raises(AttributeError):
+        loader.not_a_thing
+
+
+def test_experiment_shim_warns_and_works():
+    import repro.harness.experiment as experiment
+
+    with pytest.deprecated_call(match="ExperimentContext is deprecated"):
+        shimmed = experiment.ExperimentContext
+    from repro.harness import ExperimentContext
+    assert shimmed is ExperimentContext
+    with pytest.raises(AttributeError):
+        experiment.not_a_thing
+
+
+def test_new_imports_do_not_warn(recwarn):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.harness import ExperimentContext  # noqa: F401
+        from repro.runtime import run_app  # noqa: F401
+        from repro.api import simulate  # noqa: F401

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.asciiplot import efficiency_chart
-from repro.harness.experiment import ExperimentContext
+from repro.harness import ExperimentContext
 from repro.harness.ablations import (
     latency_sweep,
     model_shootout,

@@ -1,0 +1,186 @@
+"""RunSpec / MachineConfig / SimStats serialization and hashing."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine.spec import RunSpec, DEFAULT_LATENCY
+from repro.harness import ExperimentContext
+from repro.machine import (
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    SimStats,
+    SimulationResult,
+    SwitchModel,
+)
+from repro.machine.config import normalize_config_kwargs
+from repro.machine.network import MsgKind
+
+
+# -- RunSpec ------------------------------------------------------------------
+
+
+def test_runspec_roundtrip_through_json():
+    spec = RunSpec(
+        app="sor",
+        model=SwitchModel.EXPLICIT_SWITCH,
+        processors=2,
+        level=4,
+        scale="tiny",
+        latency=100,
+        oracle=True,
+        overrides=(("switch_cost", 8), ("latency_jitter", 50)),
+    )
+    wire = json.loads(json.dumps(spec.to_dict()))
+    restored = RunSpec.from_dict(wire)
+    assert restored == spec
+    assert restored.key() == spec.key()
+
+
+def test_runspec_key_resolves_default_latency():
+    implicit = RunSpec(app="sieve", model="switch-on-load", latency=None)
+    explicit = RunSpec(app="sieve", model="switch-on-load", latency=DEFAULT_LATENCY)
+    assert implicit.key() == explicit.key()
+    assert implicit.effective_latency == DEFAULT_LATENCY
+    ideal = RunSpec(app="sieve", model="ideal")
+    assert ideal.effective_latency == 0
+
+
+def test_runspec_key_covers_latency_and_overrides():
+    base = RunSpec(app="sieve", model="switch-on-load", processors=2, level=2)
+    keys = {
+        base.key(),
+        dataclasses.replace(base, latency=400).key(),
+        RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                overrides=(("switch_cost", 8),)).key(),
+        RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                oracle=True).key(),
+        RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                scale="tiny").key(),
+    }
+    assert len(keys) == 5  # every dimension distinguishes the hash
+
+
+def test_runspec_create_normalizes_spellings():
+    via_alias = RunSpec.create(
+        "sor", model="switch-on-load", num_processors=2,
+        threads_per_processor=3, scale="tiny",
+    )
+    via_canonical = RunSpec.create(
+        "sor", model="switch-on-load", processors=2, level=3, scale="tiny"
+    )
+    assert via_alias == via_canonical
+    with pytest.raises(TypeError, match="exactly one"):
+        RunSpec.create("sor", processors=2, num_processors=2)
+
+
+def test_runspec_create_collects_overrides():
+    spec = RunSpec.create(
+        "sor", model="conditional-switch", processors=2, level=2,
+        forced_switch_interval=0, cache=CacheConfig(num_sets=16),
+    )
+    overrides = dict(spec.overrides)
+    assert overrides["forced_switch_interval"] == 0
+    assert overrides["cache"] == CacheConfig(num_sets=16)
+    restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert dict(restored.overrides)["cache"] == CacheConfig(num_sets=16)
+
+
+def test_runspec_validates_model_and_shape():
+    with pytest.raises(ValueError):
+        RunSpec(app="sor", model="not-a-model")
+    with pytest.raises(ValueError):
+        RunSpec(app="sor", processors=0)
+
+
+def test_runspec_machine_config():
+    spec = RunSpec(
+        app="sor", model="conditional-switch", processors=2, level=4,
+        latency=100, overrides=(("switch_cost", 2),),
+    )
+    config = spec.machine_config()
+    assert config.model is SwitchModel.CONDITIONAL_SWITCH
+    assert config.processors == 2 and config.level == 4
+    assert config.latency == 100 and config.switch_cost == 2
+    assert config.cache is not None  # cached model gets its default cache
+
+
+# -- MachineConfig ------------------------------------------------------------
+
+
+def test_machine_config_roundtrip_and_key():
+    config = MachineConfig(
+        model=SwitchModel.CONDITIONAL_SWITCH,
+        num_processors=4,
+        threads_per_processor=8,
+        latency=100,
+        cache=CacheConfig(num_sets=32, assoc=2, line_words=4),
+        network=NetworkConfig(header_bits=16),
+    )
+    wire = json.loads(json.dumps(config.to_dict()))
+    restored = MachineConfig.from_dict(wire)
+    assert restored == config
+    assert restored.config_key() == config.config_key()
+    assert restored.config_key() != config.replace(latency=200).config_key()
+
+
+def test_machine_config_alias_spellings():
+    assert normalize_config_kwargs({"processors": 2, "level": 3}) == {
+        "num_processors": 2,
+        "threads_per_processor": 3,
+    }
+    config = MachineConfig.create(processors=2, level=3)
+    assert config.num_processors == 2 and config.threads_per_processor == 3
+    assert config.processors == 2 and config.level == 3
+    assert config.replace(level=5).threads_per_processor == 5
+    with pytest.raises(TypeError, match="exactly one"):
+        MachineConfig.create(processors=2, num_processors=4)
+
+
+# -- SimStats / SimulationResult ----------------------------------------------
+
+
+def test_simstats_roundtrip():
+    stats = SimStats(2, NetworkConfig(), line_words=8)
+    stats.instructions = 100
+    stats.busy_cycles = 90
+    stats.wall_cycles = 120
+    stats.per_proc_busy = [50, 40]
+    stats.per_proc_idle = [10, 20]
+    stats.switches = 7
+    stats.record_run(3)
+    stats.record_run(3)
+    stats.record_run(11)
+    stats.count_message(MsgKind.READ, sync=False)
+    stats.count_message(MsgKind.WRITE, sync=False)
+    stats.count_message(MsgKind.FAA, sync=True)
+    stats.cache_hits = 5
+    stats.cache_misses = 2
+    wire = json.loads(json.dumps(stats.to_dict()))
+    restored = SimStats.from_dict(wire)
+    assert restored.to_dict() == stats.to_dict()
+    assert restored.run_lengths == stats.run_lengths
+    assert restored.msg_counts == stats.msg_counts
+    assert restored.mean_run_length == stats.mean_run_length
+    assert restored.total_bits == stats.total_bits
+    assert restored.hit_rate == stats.hit_rate
+
+
+def test_simulation_result_roundtrip(tiny_ctx):
+    result = tiny_ctx.run("sieve", SwitchModel.SWITCH_ON_LOAD, 2, 2)
+    wire = json.loads(json.dumps(result.to_dict(include_shared=True)))
+    restored = SimulationResult.from_dict(wire)
+    assert restored.wall_cycles == result.wall_cycles
+    assert restored.stats.to_dict() == result.stats.to_dict()
+    assert restored.config == result.config
+    assert restored.shared == list(result.shared)
+    assert restored.efficiency(1000) == result.efficiency(1000)
+    # Default serialization drops the memory image.
+    assert "shared" not in result.to_dict()
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return ExperimentContext(scale="tiny", processors=2, max_level=4)
