@@ -24,6 +24,7 @@ from repro.machine import (
     SimulationResult,
     SwitchModel,
 )
+from repro.obs import MetricsRegistry, RingTracer, Tracer, write_chrome_trace
 
 __version__ = "1.0.0"
 
@@ -41,5 +42,9 @@ __all__ = [
     "NetworkConfig",
     "SimStats",
     "SimulationResult",
+    "Tracer",
+    "RingTracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -32,6 +32,7 @@ from repro.engine.executor import Engine
 from repro.engine.spec import DEFAULT_LATENCY, RunSpec
 from repro.machine.models import SwitchModel
 from repro.machine.simulator import SimulationResult
+from repro.obs.tracer import Tracer
 
 SpecLike = Union[RunSpec, Dict]
 
@@ -64,6 +65,7 @@ def simulate(
     latency: Optional[int] = DEFAULT_LATENCY,
     oracle: bool = False,
     cache: Union[ResultCache, str, None] = None,
+    tracer: Optional[Tracer] = None,
     **overrides,
 ) -> SimulationResult:
     """Simulate one registered application on one machine configuration.
@@ -75,7 +77,9 @@ def simulate(
     either keyword spelling (``switch_cost=0``, ``latency_jitter=100``,
     ``cache=CacheConfig(...)``, ...).  Pass *cache* (a directory or
     :class:`~repro.engine.ResultCache`) to persist/reuse the result on
-    disk.
+    disk.  Pass *tracer* (e.g. a :class:`~repro.obs.RingTracer`) to
+    record cycle-level events; traced runs execute in-process and bypass
+    the result cache — a stored payload has no event stream to replay.
     """
     if SwitchModel(model) is SwitchModel.IDEAL and latency == DEFAULT_LATENCY:
         latency = 0
@@ -89,6 +93,14 @@ def simulate(
         oracle=oracle,
         **overrides,
     )
+    if tracer is not None and tracer.enabled:
+        from repro.engine.executor import _build
+        from repro.runtime.execution import run_app
+
+        app, program = _build(
+            spec.app, spec.total_threads, spec.effective_code_model.value, spec.scale
+        )
+        return run_app(app, spec.machine_config(), program=program, tracer=tracer)
     with Engine(workers=1, cache=cache) as engine:
         return engine.run(spec)
 

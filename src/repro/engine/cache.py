@@ -67,6 +67,12 @@ class ResultCache:
     def _bucket(self) -> Path:
         return self.root / self.version
 
+    @property
+    def runlog_path(self) -> Path:
+        """Where the engine's run log lives (shared across code versions,
+        since the log records history rather than reusable results)."""
+        return self.root / "runlog.jsonl"
+
     def _path(self, key: str) -> Path:
         return self._bucket / f"{key}.json"
 

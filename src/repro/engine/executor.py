@@ -26,13 +26,16 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import multiprocessing
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import RunSpec
 from repro.machine.simulator import SimulationResult, SimulationTimeout
+from repro.obs.runlog import RunLogWriter, peak_rss_kb
 
 ProgressFn = Callable[[Dict], None]
 
@@ -78,12 +81,16 @@ def execute_spec(spec: RunSpec, include_shared: bool = False) -> Dict:
             "spec": spec.to_dict(),
             "result": result.to_dict(include_shared=include_shared),
             "elapsed": time.perf_counter() - start,
+            "worker": os.getpid(),
+            "peak_rss_kb": peak_rss_kb(),
         }
     except Exception as error:  # noqa: BLE001 — must cross process boundary
         return {
             "spec": spec.to_dict(),
             "error": {"type": type(error).__name__, "message": str(error)},
             "elapsed": time.perf_counter() - start,
+            "worker": os.getpid(),
+            "peak_rss_kb": peak_rss_kb(),
         }
 
 
@@ -113,6 +120,11 @@ class Engine:
         (parallel mode only; a run exceeding it is recorded as failed).
     :param progress: optional callback receiving one event dictionary
         per completed/cached/failed run (see :func:`stderr_progress`).
+    :param runlog: where the per-run JSONL telemetry log goes.  ``None``
+        (default) puts it next to the result cache
+        (:attr:`ResultCache.runlog_path`) when a cache is configured and
+        disables it otherwise; ``False`` disables it explicitly; a path
+        sends it there.  Memo hits are not logged (they touch nothing).
     """
 
     def __init__(
@@ -121,6 +133,7 @@ class Engine:
         cache: Union[ResultCache, str, None] = None,
         timeout: Optional[float] = None,
         progress: Optional[ProgressFn] = None,
+        runlog: Union[str, Path, bool, None] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -130,6 +143,14 @@ class Engine:
         self.cache = cache
         self.timeout = timeout
         self.progress = progress
+        if runlog is None:
+            self.runlog_path = cache.runlog_path if cache is not None else None
+        elif runlog is False:
+            self.runlog_path = None
+        else:
+            self.runlog_path = Path(runlog)
+        self._runlog_writer: Optional[RunLogWriter] = None
+        self._peak_rss_kb: Optional[int] = None
         self._memo: Dict[str, SimulationResult] = {}
         self._failures: Dict[str, Dict] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
@@ -145,6 +166,9 @@ class Engine:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._runlog_writer is not None:
+            self._runlog_writer.close()
+            self._runlog_writer = None
 
     def __enter__(self) -> "Engine":
         return self
@@ -211,6 +235,8 @@ class Engine:
             "wall_seconds": round(time.perf_counter() - self._started, 3),
             "workers": self.workers,
             "cache_dir": str(self.cache.root) if self.cache else None,
+            "runlog": str(self.runlog_path) if self.runlog_path else None,
+            "peak_rss_kb": self._peak_rss_kb,
         }
 
     def summary_line(self) -> str:
@@ -231,6 +257,46 @@ class Engine:
 
     # -- payload plumbing ------------------------------------------------------
 
+    def _log_run(
+        self,
+        spec: RunSpec,
+        key: str,
+        payload: Dict,
+        source: str,
+        wall_cycles: Optional[int],
+    ) -> None:
+        """Append one telemetry entry for a resolved spec (never raises —
+        telemetry must not fail a sweep)."""
+        rss = payload.get("peak_rss_kb")
+        if source != "cached":  # cached payloads carry the *original* run's RSS
+            if rss is not None and (
+                self._peak_rss_kb is None or rss > self._peak_rss_kb
+            ):
+                self._peak_rss_kb = rss
+        if self.runlog_path is None:
+            return
+        try:
+            if self._runlog_writer is None:
+                self._runlog_writer = RunLogWriter(self.runlog_path)
+            entry = {
+                "ts": round(time.time(), 3),
+                "spec": spec.label(),
+                "key": key,
+                "app": spec.app,
+                "model": spec.model,
+                "source": source,
+                "elapsed": round(float(payload.get("elapsed", 0.0)), 4),
+                "worker": payload.get("worker"),
+                "peak_rss_kb": rss,
+                "wall_cycles": wall_cycles,
+            }
+            if "error" in payload:
+                entry["error"] = payload["error"]
+            self._runlog_writer.append(entry)
+        except OSError as error:  # pragma: no cover - disk-full etc.
+            print(f"[engine] run log unavailable ({error})", file=sys.stderr)
+            self.runlog_path = None
+
     def _absorb(
         self, spec: RunSpec, key: str, payload: Dict, source: str, total: int
     ) -> Optional[SimulationResult]:
@@ -241,6 +307,7 @@ class Engine:
         if "error" in payload:
             self._failures[key] = payload["error"]
             self._counts["failed"] += 1
+            self._log_run(spec, key, payload, "failed", None)
             self._notify(spec, "failed", elapsed, total)
             return None
         result = SimulationResult.from_dict(payload["result"])
@@ -250,6 +317,7 @@ class Engine:
             self._simulated_cycles += result.wall_cycles
         else:
             self._counts["cached"] += 1
+        self._log_run(spec, key, payload, source, result.wall_cycles)
         self._notify(spec, source, elapsed, total)
         return result
 
@@ -310,11 +378,15 @@ class Engine:
                 "spec": spec.to_dict(),
                 "error": {"type": type(error).__name__, "message": str(error)},
                 "elapsed": time.perf_counter() - start,
+                "worker": os.getpid(),
+                "peak_rss_kb": peak_rss_kb(),
             }
         return result, {
             "spec": spec.to_dict(),
             "result": result.to_dict(),
             "elapsed": time.perf_counter() - start,
+            "worker": os.getpid(),
+            "peak_rss_kb": peak_rss_kb(),
         }
 
     def run_many(

@@ -156,6 +156,8 @@ def main(argv=None) -> int:
                 "seconds": round(elapsed, 3),
             }
         print(engine.summary_line(), file=sys.stderr)
+        if engine.runlog_path is not None:
+            print(f"[engine] run log: {engine.runlog_path}", file=sys.stderr)
         if args.json:
             document = {
                 "target": args.target,

@@ -82,5 +82,41 @@ class SwitchModel(enum.Enum):
         (Section 3: miss-detected switches cancel in-flight instructions)."""
         return self is SwitchModel.SWITCH_ON_MISS
 
+    @classmethod
+    def parse(cls, text: "str | SwitchModel") -> "SwitchModel":
+        """Resolve a user-facing model spelling to a member.
+
+        Accepts the canonical value (``"explicit-switch"``), the member
+        name in any case (``"EXPLICIT_SWITCH"``), underscores for dashes,
+        and the paper's short names (``"eswitch"``, ``"cswitch"``,
+        ``"hep"``, ``"sol"``).
+        """
+        if isinstance(text, cls):
+            return text
+        normalized = text.strip().lower().replace("_", "-")
+        alias = _MODEL_ALIASES.get(normalized)
+        if alias is not None:
+            return alias
+        try:
+            return cls(normalized)
+        except ValueError:
+            known = ", ".join(
+                sorted([m.value for m in cls] + list(_MODEL_ALIASES))
+            )
+            raise ValueError(
+                f"unknown switch model {text!r} (known: {known})"
+            ) from None
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Short spellings from the paper's prose and figures.
+_MODEL_ALIASES = {
+    "eswitch": SwitchModel.EXPLICIT_SWITCH,
+    "cswitch": SwitchModel.CONDITIONAL_SWITCH,
+    "hep": SwitchModel.SWITCH_EVERY_CYCLE,
+    "sol": SwitchModel.SWITCH_ON_LOAD,
+    "sou": SwitchModel.SWITCH_ON_USE,
+    "som": SwitchModel.SWITCH_ON_MISS,
+}

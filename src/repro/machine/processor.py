@@ -173,8 +173,9 @@ class Processor:
             outcome, t_end = self._burst_sec(thread, now)
         else:
             outcome, t_end = self._burst(thread, now)
-        if self.sim.timeline is not None:
-            self.sim.timeline.append((now, self.pid, thread.tid, t_end, outcome))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.burst(now, self.pid, thread.tid, t_end, outcome)
         if outcome == OUT_PAUSE:
             self.sim.schedule(t_end, self.dispatch_event, None, priority=2)
         else:
@@ -217,6 +218,9 @@ class Processor:
         model = self.model
         forced = self.forced_interval
         pid = self.pid
+        # The whole cost of disabled tracing on this hot loop: one local
+        # load + None check per instruction (see repro.obs.tracer).
+        tracer = sim.tracer
 
         t = now
         deadline = now + self.burst_limit
@@ -264,6 +268,9 @@ class Processor:
                     outcome = OUT_SWITCH
                     resume = blocked
                     break
+
+            if tracer is not None:
+                tracer.instr(t, pid, thread.tid, pc, op)
 
             if op <= 25:  # integer ALU / LI / MOV
                 if op == _ADDI:
@@ -480,7 +487,7 @@ class Processor:
                             t, addr, values, pid, ins.sync, combined=combined
                         )
                     else:
-                        sim.mem_store(t, addr, values, ins.sync)
+                        sim.mem_store(t, addr, values, ins.sync, thread.tid)
                     t += ins.cost
                     pc += 1
                     n_instr += 1
@@ -539,6 +546,8 @@ class Processor:
                             regs[ins.rd] = first
                             if nwords == 2:
                                 regs[ins.rd + 1] = second
+                        if tracer is not None:
+                            tracer.cache_hit(t, pid, thread.tid, addr)
                         if not ins.sync:
                             stats.cache_hits += 1
                         t += ins.cost
@@ -552,6 +561,8 @@ class Processor:
                             and run0 + t >= forced
                         ):
                             stats.forced_switches += 1
+                            if tracer is not None:
+                                tracer.switch_forced(t, pid, thread.tid)
                             outcome = OUT_SWITCH
                             resume = t
                             break
@@ -559,6 +570,11 @@ class Processor:
                         issued = sim.cached_load(
                             t, addr, nwords, thread, ins.rd, pid, ins.sync
                         )
+                        if tracer is not None:
+                            if issued:
+                                tracer.cache_miss(t, pid, thread.tid, addr)
+                            else:
+                                tracer.cache_merge(t, pid, thread.tid, addr)
                         if not ins.sync:
                             stats.cache_misses += 1
                             if not issued:
@@ -586,10 +602,14 @@ class Processor:
                         break
                     if forced and run0 + t >= forced:
                         stats.forced_switches += 1
+                        if tracer is not None:
+                            tracer.switch_forced(t, pid, thread.tid)
                         outcome = OUT_SWITCH
                         resume = t
                         break
                     stats.skipped_switches += 1
+                    if tracer is not None:
+                        tracer.switch_skipped(t, pid, thread.tid)
                 elif model == M_EXPLICIT or model == M_SOL or model == M_USE:
                     outcome = OUT_SWITCH
                     resume = thread.pending_until
@@ -610,6 +630,8 @@ class Processor:
             stats.record_run(run0 + t)
             thread.run_cycles = 0
             thread.resume_time = resume
+            if tracer is not None:
+                tracer.switch_taken(t, pid, thread.tid, resume)
             if flush:
                 stats.switch_overhead_cycles += flush
                 return OUT_SWITCH, t + flush
@@ -620,6 +642,8 @@ class Processor:
             thread.halted = True
             thread.halt_time = t
             sim.thread_halted(t)
+            if tracer is not None:
+                tracer.thread_halt(t, pid, thread.tid)
             return OUT_HALT, t
         # PAUSE / YIELD: the run continues across the boundary.
         thread.run_cycles = run0 + t
@@ -650,6 +674,9 @@ class Processor:
             stats.record_run(thread.run_cycles)
             thread.run_cycles = 0
             thread.resume_time = t_end
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.switch_taken(t_end, self.pid, thread.tid, t_end)
             return OUT_SWITCH, t_end
         return outcome, t_end
 

@@ -34,6 +34,7 @@ from repro.machine.directory import Directory
 from repro.machine.network import MsgKind
 from repro.machine.stats import SimStats
 from repro.machine.thread import ThreadContext
+from repro.obs.tracer import TimelineTracer, Tracer
 
 
 class SimulationTimeout(Exception):
@@ -124,6 +125,7 @@ class Simulator:
         shared: List,
         thread_registers: Sequence[dict],
         local_size: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         if not program.finalized:
             raise ValueError("program must be finalized before simulation")
@@ -173,9 +175,31 @@ class Simulator:
         self.now = 0
         self.live_threads = len(self.threads)
         self.last_halt_time = 0
-        #: Burst timeline (time, pid, tid, end, outcome) when enabled.
-        self.timeline: Optional[List] = [] if config.record_timeline else None
+        #: The probe sink (None = tracing off).  The disabled-overhead
+        #: contract: a tracer whose ``enabled`` flag is false is dropped
+        #: *here*, so every hot path pays exactly one ``is not None``
+        #: check and nothing else when tracing is off.
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if tracer is None and config.record_timeline:
+            tracer = TimelineTracer()
+        self.tracer: Optional[Tracer] = tracer
         self._jitter_range = config.latency_jitter
+
+    @property
+    def timeline(self) -> Optional[List]:
+        """Burst tuples ``(start, pid, tid, end, outcome)`` when a
+        burst-recording tracer is attached (``record_timeline=True`` or
+        any :class:`~repro.obs.RingTracer`), else ``None``.
+
+        The ASCII timeline and the Chrome trace both derive from the
+        same tracer event stream — two views of one source of truth.
+        """
+        getter = getattr(self.tracer, "burst_tuples", None)
+        return getter() if getter is not None else None
+
+    def _pid_of(self, tid: int) -> int:
+        return tid // self.config.threads_per_processor
 
     # -- event plumbing -----------------------------------------------------------
 
@@ -259,28 +283,43 @@ class Simulator:
     ) -> None:
         """Issue an uncached shared load (LWS/LDS): the value is read at
         memory at ``time + latency/2`` and usable at ``time + latency``."""
-        self.stats.count_message(MsgKind.READ if nwords == 1 else MsgKind.READ2, sync)
+        kind = MsgKind.READ if nwords == 1 else MsgKind.READ2
+        self.stats.count_message(kind, sync)
         ready = time + self.latency + self._jitter(time, addr)
+        txn = 0
+        if self.tracer is not None:
+            txn = self.tracer.mem_issue(
+                time, self._pid_of(thread.tid), thread.tid, kind.name, addr,
+                ready - time,
+            )
         thread.inflight[dest] = ready
         if nwords == 2:
             thread.inflight[dest + 1] = ready
         if ready > thread.pending_until:
             thread.pending_until = ready
         self.schedule(
-            time + self.half_latency, self._load_event, (addr, nwords, thread, dest, ready)
+            time + self.half_latency,
+            self._load_event,
+            (addr, nwords, thread, dest, ready, txn),
         )
 
     def _load_event(self, time: int, arg) -> None:
-        addr, nwords, thread, dest, ready = arg
+        addr, nwords, thread, dest, ready, txn = arg
         thread.deliver(dest, self.shared[addr], ready)
         if nwords == 2:
             thread.deliver(dest + 1, self.shared[addr + 1], ready)
+        if self.tracer is not None:
+            self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
 
-    def mem_store(self, time: int, addr: int, values: tuple, sync: bool) -> None:
+    def mem_store(
+        self, time: int, addr: int, values: tuple, sync: bool, tid: int = -1
+    ) -> None:
         """Issue a fire-and-forget shared store (SWS/SDS)."""
-        self.stats.count_message(
-            MsgKind.WRITE if len(values) == 1 else MsgKind.WRITE2, sync
-        )
+        kind = MsgKind.WRITE if len(values) == 1 else MsgKind.WRITE2
+        self.stats.count_message(kind, sync)
+        if self.tracer is not None:
+            pid = self._pid_of(tid) if tid >= 0 else -1
+            self.tracer.mem_issue(time, pid, tid, kind.name, addr, self.half_latency)
         self.schedule(time + self.half_latency, self._store_event, (addr, values))
 
     def _store_event(self, time: int, arg) -> None:
@@ -308,18 +347,29 @@ class Simulator:
         """Fetch-and-Add: atomic at the memory module (combining network)."""
         self.stats.count_message(MsgKind.FAA, sync)
         ready = time + self.latency + self._jitter(time, addr)
+        txn = 0
+        if self.tracer is not None:
+            txn = self.tracer.mem_issue(
+                time, self._pid_of(thread.tid), thread.tid, MsgKind.FAA.name, addr,
+                ready - time,
+            )
         thread.inflight[dest] = ready
         if ready > thread.pending_until:
             thread.pending_until = ready
         self.schedule(
-            time + self.half_latency, self._faa_event, (addr, thread, dest, addend, ready)
+            time + self.half_latency,
+            self._faa_event,
+            (addr, thread, dest, addend, ready, txn),
         )
 
     def _faa_event(self, time: int, arg) -> None:
-        addr, thread, dest, addend, ready = arg
+        addr, thread, dest, addend, ready, txn = arg
         old = self.shared[addr]
         self.shared[addr] = old + addend
         thread.deliver(dest, old, ready)
+        if self.tracer is not None:
+            self.tracer.faa_combine(time, addr, old, addend)
+            self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
         if self.directory is not None:
             line = addr // self.config.cache.line_words
             self._invalidate_sharers(time, line, writer=-1)
@@ -364,10 +414,16 @@ class Simulator:
             proc.mshr[line] = fill_ready
             issued += 1
             self.stats.count_message(MsgKind.LINE_READ, sync)
+            txn = 0
+            if self.tracer is not None:
+                txn = self.tracer.mem_issue(
+                    time, pid, thread.tid, MsgKind.LINE_READ.name,
+                    line * line_words, fill_ready - time,
+                )
             self.schedule(
                 time + self.half_latency,
                 self._line_read_event,
-                (line, pid, fill_ready),
+                (line, pid, fill_ready, txn),
             )
             ready = max(ready, fill_ready)
         if ready <= time:  # resident after all (race with a fill): serve now
@@ -384,17 +440,19 @@ class Simulator:
         return issued
 
     def _line_read_event(self, time: int, arg) -> None:
-        line, pid, fill_ready = arg
+        line, pid, fill_ready, txn = arg
         line_words = self.config.cache.line_words
         base = line * line_words
         data = list(self.shared[base : base + line_words])
         self.directory.add_sharer(line, pid)
-        self.schedule(fill_ready, self._line_fill_event, (line, data, pid))
+        self.schedule(fill_ready, self._line_fill_event, (line, data, pid, txn))
 
     def _line_fill_event(self, time: int, arg) -> None:
-        line, data, pid = arg
+        line, data, pid, txn = arg
         proc = self.processors[pid]
         proc.mshr.pop(line, None)
+        if self.tracer is not None:
+            self.tracer.mem_complete(time, pid, -1, txn)
         if pid not in self.directory.sharers_of(line):
             # A write invalidated this fill while it was in flight (the
             # directory already dropped us): the data is stale, so the
@@ -404,6 +462,8 @@ class Simulator:
         victim = proc.cache.install(line, data)
         if victim is not None:
             self.directory.drop_sharer(victim, pid)
+            if self.tracer is not None:
+                self.tracer.cache_evict(time, pid, victim)
 
     def _cached_deliver_event(self, time: int, arg) -> None:
         addr, nwords, thread, dest, pid, ready = arg
@@ -433,10 +493,12 @@ class Simulator:
         if combined:
             for _ in values:
                 self.stats.count_message(MsgKind.WRITE_COMBINED, sync)
+            kind = MsgKind.WRITE_COMBINED
         else:
-            self.stats.count_message(
-                MsgKind.WRITE_THROUGH if len(values) == 1 else MsgKind.WRITE2, sync
-            )
+            kind = MsgKind.WRITE_THROUGH if len(values) == 1 else MsgKind.WRITE2
+            self.stats.count_message(kind, sync)
+        if self.tracer is not None:
+            self.tracer.mem_issue(time, pid, -1, kind.name, addr, self.half_latency)
         self.schedule(
             time + self.half_latency, self._write_through_event, (addr, values)
         )
@@ -459,3 +521,5 @@ class Simulator:
     def _inval_event(self, time: int, arg) -> None:
         line, victim = arg
         self.processors[victim].cache.invalidate(line)
+        if self.tracer is not None:
+            self.tracer.invalidate(time, victim, line)

@@ -216,9 +216,33 @@ class SimStats:
             {int(length): count for length, count in data["run_lengths"].items()}
         )
         stats.msg_counts = Counter(
-            {MsgKind[name]: count for name, count in data["msg_counts"].items()}
+            {MsgKind.from_name(name): count
+             for name, count in data["msg_counts"].items()}
         )
         return stats
+
+    def to_metrics(self, registry=None):
+        """Export the aggregate counters as a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the same report
+        machinery the tracer feeds, with tracing completely disabled."""
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        registry.counter("instr").inc(self.instructions)
+        registry.counter("switch.taken").inc(self.switches)
+        registry.counter("switch.skipped").inc(self.skipped_switches)
+        registry.counter("switch.forced").inc(self.forced_switches)
+        registry.counter("cache.hit").inc(self.cache_hits)
+        registry.counter("cache.miss").inc(self.cache_misses)
+        registry.counter("cache.merge").inc(self.cache_merged)
+        for kind, count in sorted(self.msg_counts.items(), key=lambda kv: kv[0].name):
+            registry.counter(f"mem.issue.{kind.name}").inc(count)
+        run_length = registry.histogram("run.length")
+        for length, count in sorted(self.run_lengths.items()):
+            for _ in range(count):
+                run_length.observe(length)
+        return registry
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline numbers (handy for tests/CLI)."""

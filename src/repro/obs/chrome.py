@@ -1,0 +1,211 @@
+"""Chrome ``trace_event`` export (Perfetto / ``chrome://tracing``).
+
+:func:`chrome_trace` turns a :class:`~repro.obs.tracer.RingTracer` event
+stream into the JSON object format of the Trace Event specification:
+
+* one *process* track per simulated processor (plus one for the memory
+  side), one *thread* lane per hardware thread;
+* every dispatch burst becomes a complete (``"X"``) slice on its
+  thread's lane;
+* every shared-memory transaction becomes an async begin/end pair
+  (``"b"``/``"e"``) with its transaction id, drawn by the viewers as an
+  arrow spanning issue → response — in-flight latency is directly
+  visible;
+* context switches and cache events become instants; cache hit/miss
+  running totals become counter (``"C"``) tracks.
+
+One simulated cycle is exported as one microsecond (the formats have no
+notion of cycles); ``displayTimeUnit`` is milliseconds, so a 200-cycle
+round trip reads as 0.2 on the ruler.
+
+:func:`validate_chrome_trace` is the minimal schema check CI runs
+against the emitted file before uploading it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.events import EventKind, MEMORY_SIDE, TraceEvent
+
+#: Burst outcome names (codes from :mod:`repro.machine.processor`).
+OUTCOME_NAMES = {0: "switch", 1: "pause", 2: "yield", 3: "halt"}
+
+_INSTANT_NAMES = {
+    EventKind.SWITCH_TAKEN: "switch",
+    EventKind.SWITCH_SKIPPED: "switch-skipped",
+    EventKind.SWITCH_FORCED: "switch-forced",
+    EventKind.CACHE_MERGE: "cache-merge",
+    EventKind.CACHE_EVICT: "cache-evict",
+    EventKind.INVALIDATE: "invalidate",
+    EventKind.FAA_COMBINE: "faa-combine",
+    EventKind.THREAD_HALT: "halt",
+}
+
+
+def _track_pid(pid: int) -> int:
+    """Trace-file process id: real processors keep their pid; the memory
+    side gets a large sentinel so it sorts last."""
+    return pid if pid >= 0 else 1_000_000
+
+
+def chrome_trace(events: Iterable[TraceEvent], dropped: int = 0) -> Dict:
+    """Build the Chrome trace JSON object for *events*.
+
+    *dropped* (from ``RingTracer.dropped``) is recorded in ``otherData``
+    so a truncated ring is never mistaken for a complete trace.
+    """
+    events = list(events)
+    trace: List[Dict] = []
+    seen_procs = set()
+    seen_threads = set()
+    completes: Dict[int, int] = {}
+    cache_counters: Dict[int, Dict[str, int]] = {}
+
+    for event in events:
+        if event.kind is EventKind.MEM_COMPLETE:
+            completes[event.data[0]] = event.time
+
+    def track(pid: int, tid: int) -> Dict:
+        tpid = _track_pid(pid)
+        if tpid not in seen_procs:
+            seen_procs.add(tpid)
+            name = f"processor {pid}" if pid >= 0 else "memory"
+            trace.append(
+                {"name": "process_name", "ph": "M", "pid": tpid,
+                 "args": {"name": name}}
+            )
+            trace.append(
+                {"name": "process_sort_index", "ph": "M", "pid": tpid,
+                 "args": {"sort_index": tpid}}
+            )
+        if tid >= 0 and (tpid, tid) not in seen_threads:
+            seen_threads.add((tpid, tid))
+            trace.append(
+                {"name": "thread_name", "ph": "M", "pid": tpid, "tid": tid,
+                 "args": {"name": f"thread {tid}"}}
+            )
+        return {"pid": tpid, "tid": tid if tid >= 0 else 0}
+
+    for event in events:
+        kind = event.kind
+        where = track(event.pid, event.tid)
+        if kind is EventKind.BURST:
+            end, outcome = event.data
+            trace.append(
+                {
+                    "name": f"thread {event.tid}",
+                    "cat": "burst",
+                    "ph": "X",
+                    "ts": event.time,
+                    "dur": max(0, end - event.time),
+                    "args": {"outcome": OUTCOME_NAMES.get(outcome, str(outcome))},
+                    **where,
+                }
+            )
+        elif kind is EventKind.MEM_ISSUE:
+            txn, msg, addr, latency = event.data
+            end = completes.get(txn, event.time + latency)
+            common = {"cat": "mem", "id": txn, "name": msg, **where}
+            trace.append(
+                {
+                    "ph": "b",
+                    "ts": event.time,
+                    "args": {"addr": addr, "latency": latency},
+                    **common,
+                }
+            )
+            trace.append({"ph": "e", "ts": end, "args": {}, **common})
+        elif kind is EventKind.CACHE_HIT or kind is EventKind.CACHE_MISS:
+            counter = cache_counters.setdefault(
+                event.pid, {"hits": 0, "misses": 0}
+            )
+            counter["hits" if kind is EventKind.CACHE_HIT else "misses"] += 1
+            trace.append(
+                {
+                    "name": "cache",
+                    "cat": "cache",
+                    "ph": "C",
+                    "ts": event.time,
+                    "pid": where["pid"],
+                    "args": dict(counter),
+                }
+            )
+        elif kind in _INSTANT_NAMES:
+            trace.append(
+                {
+                    "name": _INSTANT_NAMES[kind],
+                    "cat": "sched" if kind.name.startswith("SWITCH") else "mem",
+                    "ph": "i",
+                    "ts": event.time,
+                    "s": "t" if event.tid >= 0 else "p",
+                    **where,
+                }
+            )
+        # INSTR / MEM_COMPLETE events are folded into slices/arrows above.
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "1 simulated cycle = 1us",
+            "events": len(events),
+            "dropped": dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, events: Iterable[TraceEvent], dropped: int = 0) -> Dict:
+    """Write :func:`chrome_trace` output to *path*; returns the document."""
+    document = chrome_trace(events, dropped=dropped)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document
+
+
+#: Phases that require a "tid" field per the trace-event spec subset we emit.
+_THREAD_PHASES = {"X", "b", "e", "i"}
+
+
+def validate_chrome_trace(document) -> None:
+    """Minimal structural validation of a trace document (raises
+    ``ValueError`` on the first violation).  This is the schema gate the
+    CI trace-smoke job applies before uploading the artifact."""
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    trace = document.get("traceEvents")
+    if not isinstance(trace, list) or not trace:
+        raise ValueError("traceEvents must be a non-empty list")
+    open_async = {}
+    for index, entry in enumerate(trace):
+        if not isinstance(entry, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = entry.get("ph")
+        if phase not in ("M", "X", "b", "e", "i", "C"):
+            raise ValueError(f"traceEvents[{index}] has unknown phase {phase!r}")
+        if not isinstance(entry.get("pid"), int):
+            raise ValueError(f"traceEvents[{index}] lacks an integer pid")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            raise ValueError(f"traceEvents[{index}] lacks a name")
+        if phase != "M":
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"traceEvents[{index}] lacks a valid ts")
+        if phase in _THREAD_PHASES and not isinstance(entry.get("tid"), int):
+            raise ValueError(f"traceEvents[{index}] lacks an integer tid")
+        if phase == "X":
+            duration = entry.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(f"traceEvents[{index}] has invalid dur")
+        if phase == "b":
+            open_async[(entry.get("cat"), entry.get("id"))] = index
+        if phase == "e":
+            if open_async.pop((entry.get("cat"), entry.get("id")), None) is None:
+                raise ValueError(
+                    f"traceEvents[{index}] ends async id {entry.get('id')!r} "
+                    "that was never begun"
+                )
+    if open_async:
+        raise ValueError(f"{len(open_async)} async events never ended")

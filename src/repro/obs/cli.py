@@ -1,0 +1,136 @@
+"""``repro-trace`` — record and inspect cycle-level traces.
+
+Examples::
+
+    repro-trace run sieve --model eswitch --out trace.json
+    repro-trace run sor --model som --processors 4 --level 8 \\
+        --scale small --events events.jsonl --timeline
+    repro-trace report ~/.cache/repro/runlog.jsonl
+
+``run`` simulates one configuration with a :class:`~repro.obs.tracer.
+RingTracer` attached and writes a Chrome ``trace_event`` file — open it
+at https://ui.perfetto.dev.  ``--events`` additionally dumps the raw
+event stream as JSONL; ``--metrics`` / ``--timeline`` print the derived
+aggregate views on stdout.  ``report`` summarizes an engine run log
+(where it lives is printed by ``repro-bench`` on exit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.spec import DEFAULT_LATENCY
+from repro.machine.models import SwitchModel
+from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.events import write_events_jsonl
+from repro.obs.metrics import metrics_from_events
+from repro.obs.runlog import read_runlog, render_runlog_report
+from repro.obs.tracer import RingTracer
+
+
+def _cmd_run(args) -> int:
+    from repro.api import simulate
+    from repro.tools.timeline import render_timeline
+
+    try:
+        model = SwitchModel.parse(args.model)
+    except ValueError as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 2
+    tracer = RingTracer(capacity=args.capacity)
+    result = simulate(
+        args.app,
+        model=model,
+        processors=args.processors,
+        level=args.level,
+        scale=args.scale,
+        latency=args.latency,
+        tracer=tracer,
+    )
+    events = tracer.events()
+    document = chrome_trace(events, tracer.dropped)
+    validate_chrome_trace(document)
+    write_chrome_trace(args.out, events, tracer.dropped)
+    print(
+        f"[trace] {args.app}/{model.value}: {result.wall_cycles:,} cycles, "
+        f"{tracer.total_events:,} events ({tracer.dropped:,} dropped) "
+        f"-> {args.out}",
+        file=sys.stderr,
+    )
+    if args.events:
+        count = write_events_jsonl(args.events, events)
+        print(f"[trace] wrote {count:,} events -> {args.events}", file=sys.stderr)
+    if args.timeline:
+        print(render_timeline(events, args.processors))
+    if args.metrics:
+        print(metrics_from_events(events).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        entries = read_runlog(args.runlog)
+    except OSError as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 2
+    print(render_runlog_report(entries))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Record Chrome traces of simulations; report engine run logs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate one config with tracing on")
+    run.add_argument("app", help="registered application name (e.g. sieve)")
+    run.add_argument(
+        "--model",
+        default=SwitchModel.SWITCH_ON_LOAD.value,
+        help="switch model (canonical name or paper alias, e.g. eswitch)",
+    )
+    run.add_argument("--processors", type=int, default=2)
+    run.add_argument("--level", type=int, default=4, help="threads per processor")
+    run.add_argument(
+        "--scale", default="tiny", choices=("tiny", "small", "medium", "bench")
+    )
+    run.add_argument(
+        "--latency", type=int, default=DEFAULT_LATENCY, help="round-trip cycles"
+    )
+    run.add_argument(
+        "--out", default="trace.json", metavar="PATH", help="Chrome trace output"
+    )
+    run.add_argument(
+        "--events", default=None, metavar="PATH", help="also dump raw events as JSONL"
+    )
+    run.add_argument(
+        "--capacity",
+        type=int,
+        default=1_000_000,
+        help="ring-buffer capacity in events (oldest dropped beyond this)",
+    )
+    run.add_argument(
+        "--timeline", action="store_true", help="print the ASCII occupancy timeline"
+    )
+    run.add_argument(
+        "--metrics", action="store_true", help="print the derived metrics report"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    report = commands.add_parser("report", help="summarize an engine run log")
+    report.add_argument("runlog", help="path to runlog.jsonl")
+    report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro-trace report ... | head`
+        sys.stderr.close()  # suppress the interpreter's own pipe warning
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Counters and histograms: the aggregate view of observability.
+
+A :class:`MetricsRegistry` is a flat, named collection of
+:class:`Counter` and :class:`Histogram` instruments.  It is usable
+stand-alone (instrument any code, render a report, serialize to JSON)
+and has two built-in producers:
+
+* :func:`metrics_from_events` derives latency histograms and event
+  counters from a tracer's event stream;
+* :meth:`repro.machine.stats.SimStats.to_metrics` exports a finished
+  run's statistics, so the same report machinery works with tracing
+  completely disabled.
+
+Histograms bucket by powers of two (1, 2, 4, ... upper bounds), which
+suits the quantities here — run lengths and memory latencies spread
+over orders of magnitude — and keeps ``observe`` cheap
+(``bit_length``, no search).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import EventKind, TraceEvent
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative observations.
+
+    Bucket *b* counts observations with ``2**(b-1) < value <= 2**b``
+    (bucket 0 counts values <= 1); exact count/sum/min/max are kept
+    alongside, so means are exact and only percentiles are approximate
+    (upper bucket bound — a conservative estimate).
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r}: negative value {value}")
+        bucket = (math.ceil(value) - 1).bit_length() if value > 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bucket bound below which *fraction* of observations fall
+        (conservative; exact min/max are reported separately)."""
+        if not self.count:
+            return 0.0
+        threshold = fraction * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= threshold:
+                return float(2 ** bucket)
+        return float(self.max)
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(2 ** b): n for b, n in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class MetricsRegistry:
+    """Named collection of instruments with one creation point per name."""
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Counter(name)
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Histogram(name)
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+        return instrument
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def to_dict(self) -> Dict:
+        return {name: instrument.to_dict() for name, instrument in self}
+
+    def render(self) -> str:
+        """Aligned text report (the ``repro-trace`` metrics view)."""
+        lines: List[str] = []
+        counters = [
+            (name, inst) for name, inst in self if isinstance(inst, Counter)
+        ]
+        histograms = [
+            (name, inst) for name, inst in self if isinstance(inst, Histogram)
+        ]
+        if counters:
+            width = max(len(name) for name, _ in counters)
+            lines.append("counters:")
+            for name, counter in counters:
+                lines.append(f"  {name:<{width}}  {counter.value:>12,}")
+        if histograms:
+            width = max(len(name) for name, _ in histograms)
+            lines.append("histograms:" if not lines else "\nhistograms:")
+            header = (
+                f"  {'name':<{width}}  {'count':>10} {'mean':>10} "
+                f"{'p50':>8} {'p95':>8} {'max':>10}"
+            )
+            lines.append(header)
+            for name, hist in histograms:
+                lines.append(
+                    f"  {name:<{width}}  {hist.count:>10,} {hist.mean:>10.1f} "
+                    f"{hist.percentile(0.5):>8.0f} {hist.percentile(0.95):>8.0f} "
+                    f"{(hist.max if hist.max is not None else 0):>10,.0f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics)"
+
+
+#: (event kind -> counter name) for the simple tallies.
+_EVENT_COUNTERS = {
+    EventKind.INSTR: "instr",
+    EventKind.SWITCH_TAKEN: "switch.taken",
+    EventKind.SWITCH_SKIPPED: "switch.skipped",
+    EventKind.SWITCH_FORCED: "switch.forced",
+    EventKind.CACHE_HIT: "cache.hit",
+    EventKind.CACHE_MISS: "cache.miss",
+    EventKind.CACHE_MERGE: "cache.merge",
+    EventKind.CACHE_EVICT: "cache.evict",
+    EventKind.INVALIDATE: "invalidate",
+    EventKind.FAA_COMBINE: "faa.combine",
+    EventKind.THREAD_HALT: "thread.halt",
+}
+
+
+def metrics_from_events(
+    events: Iterable[TraceEvent], registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Derive the standard metrics view of a trace.
+
+    Produces one counter per event kind, per-message-kind issue counters
+    (``mem.issue.<kind>``), a latency histogram per message kind
+    (``mem.latency.<kind>``) and a burst-length histogram.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for event in events:
+        kind = event.kind
+        name = _EVENT_COUNTERS.get(kind)
+        if name is not None:
+            registry.counter(name).inc()
+        elif kind is EventKind.MEM_ISSUE:
+            _txn, msg, _addr, latency = event.data
+            registry.counter(f"mem.issue.{msg}").inc()
+            registry.histogram(f"mem.latency.{msg}").observe(latency)
+        elif kind is EventKind.BURST:
+            end, _outcome = event.data
+            registry.histogram("burst.cycles").observe(max(0, end - event.time))
+    return registry

@@ -1,0 +1,160 @@
+"""Engine run log: one JSONL line per completed/cached/failed run.
+
+The :class:`~repro.engine.executor.Engine` appends an entry for every
+spec it resolves (except in-process memo hits, which touch nothing) to a
+``runlog.jsonl`` under the result-cache directory.  Entries carry what
+you need to debug a sweep after the fact — which worker ran what, how
+long it took, whether it came from cache, how big the worker got:
+
+.. code-block:: json
+
+    {"ts": 1754515200.1, "spec": "sieve/switch-on-load P2 M4 L200 (small)",
+     "key": "5b3c...", "app": "sieve", "model": "switch-on-load",
+     "source": "run", "elapsed": 1.932, "worker": 71002,
+     "peak_rss_kb": 48812, "wall_cycles": 731442}
+
+``repro-trace report <runlog>`` renders the aggregate view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident-set size of this process in KiB (``None`` where the
+    ``resource`` module is unavailable, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return usage // 1024
+    return usage
+
+
+class RunLogWriter:
+    """Append-only JSONL writer (one flush per entry, crash-tolerant)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.entries_written = 0
+
+    def append(self, entry: Dict) -> None:
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        self.entries_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_runlog(path) -> List[Dict]:
+    """Parse a run log; unreadable lines are skipped (a crashed writer
+    leaves at most one torn line at the end)."""
+    entries: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return entries
+
+
+def summarize_runlog(entries: List[Dict]) -> Dict:
+    """Aggregate a run log into the quantities the report prints."""
+    by_source: Dict[str, int] = {}
+    by_worker: Dict[int, int] = {}
+    elapsed_total = 0.0
+    slowest: List[Dict] = []
+    failures: List[Dict] = []
+    peak_rss = None
+    cycles = 0
+    for entry in entries:
+        by_source[entry.get("source", "?")] = (
+            by_source.get(entry.get("source", "?"), 0) + 1
+        )
+        worker = entry.get("worker")
+        if worker is not None:
+            by_worker[worker] = by_worker.get(worker, 0) + 1
+        elapsed_total += float(entry.get("elapsed", 0.0))
+        rss = entry.get("peak_rss_kb")
+        if rss is not None and (peak_rss is None or rss > peak_rss):
+            peak_rss = rss
+        cycles += entry.get("wall_cycles") or 0
+        if entry.get("source") == "failed":
+            failures.append(entry)
+        slowest.append(entry)
+    slowest.sort(key=lambda e: float(e.get("elapsed", 0.0)), reverse=True)
+    return {
+        "entries": len(entries),
+        "by_source": by_source,
+        "by_worker": by_worker,
+        "elapsed_total": elapsed_total,
+        "simulated_cycles": cycles,
+        "peak_rss_kb": peak_rss,
+        "failures": failures,
+        "slowest": slowest[:10],
+    }
+
+
+def render_runlog_report(entries: List[Dict]) -> str:
+    """Human-readable run-log summary (the ``repro-trace report`` view)."""
+    if not entries:
+        return "(empty run log)"
+    summary = summarize_runlog(entries)
+    parts = [
+        f"{summary['entries']} entries, "
+        + ", ".join(
+            f"{count} {source}" for source, count in sorted(summary["by_source"].items())
+        ),
+        f"run time {summary['elapsed_total']:.2f}s across "
+        f"{len(summary['by_worker']) or 1} worker(s), "
+        f"{summary['simulated_cycles']:,} simulated cycles",
+    ]
+    if summary["peak_rss_kb"] is not None:
+        parts.append(f"peak worker RSS {summary['peak_rss_kb'] / 1024:.0f} MiB")
+    lines = parts + ["", "slowest runs:"]
+    for entry in summary["slowest"]:
+        lines.append(
+            f"  {float(entry.get('elapsed', 0.0)):8.2f}s  "
+            f"[{entry.get('source', '?'):>6}]  {entry.get('spec', '?')}"
+        )
+    if summary["failures"]:
+        lines.append("")
+        lines.append("failures:")
+        for entry in summary["failures"]:
+            error = entry.get("error") or {}
+            lines.append(
+                f"  {entry.get('spec', '?')}: "
+                f"{error.get('type', '?')}: {error.get('message', '')}"
+            )
+    return "\n".join(lines)
+
+
+def default_entry(**fields) -> Dict:
+    """An entry skeleton stamped with the caller's pid (the engine fills
+    source/spec/timing fields on top)."""
+    entry = {"worker": os.getpid()}
+    entry.update(fields)
+    return entry

@@ -12,11 +12,12 @@ the :mod:`repro.api` facade for new code.)
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.isa.registers import TID_REG, NTHREADS_REG, ARGS_REG
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import Simulator, SimulationResult
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import BuiltApp
@@ -24,14 +25,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def make_simulator(
-    app: "BuiltApp", config: MachineConfig, program: "Program | None" = None
+    app: "BuiltApp",
+    config: MachineConfig,
+    program: "Program | None" = None,
+    tracer: Optional[Tracer] = None,
 ) -> Simulator:
     """Build a ready-to-run simulator for *app* on *config*.
 
     *program* overrides the application's original code (pass the output
     of :func:`repro.compiler.prepare_for_model` to run transformed code).
-    The application must have been built for ``config.total_threads``
-    threads.
+    *tracer* attaches a :mod:`repro.obs` probe (see
+    :class:`~repro.obs.tracer.RingTracer`).  The application must have
+    been built for ``config.total_threads`` threads.
     """
     if app.nthreads != config.total_threads:
         raise ValueError(
@@ -50,6 +55,7 @@ def make_simulator(
         list(app.shared),
         thread_registers,
         local_size=app.local_size,
+        tracer=tracer,
     )
 
 
@@ -58,9 +64,10 @@ def run_app(
     config: MachineConfig,
     program: "Program | None" = None,
     check: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> SimulationResult:
     """Simulate *app* on *config* and (by default) verify its result."""
-    result = make_simulator(app, config, program).run()
+    result = make_simulator(app, config, program, tracer=tracer).run()
     if check and app.check is not None:
         app.check(result.shared)
     return result

@@ -1,10 +1,18 @@
 """ASCII processor-occupancy timelines.
 
-Enable recording with ``MachineConfig(record_timeline=True)``; the
-simulator then appends one ``(start, processor, thread, end, outcome)``
-tuple per burst.  :func:`render_timeline` buckets those bursts into a
-fixed-width chart, one row per processor, marking each bucket with the
-thread that was busiest in it (``.`` = idle).
+This is one of the views over the :mod:`repro.obs` event stream (the
+Chrome ``trace_event`` exporter in :mod:`repro.obs.chrome` is another).
+Both functions here accept either
+
+* the classic burst tuples ``(start, pid, tid, end, outcome)`` — what
+  ``Simulator.timeline`` returns under ``record_timeline=True``, or
+* a stream of :class:`~repro.obs.events.TraceEvent` objects (for
+  example ``RingTracer.events()``), from which the BURST events are
+  extracted automatically.
+
+:func:`render_timeline` buckets the bursts into a fixed-width chart,
+one row per processor, marking each bucket with the thread that was
+busiest in it (``.`` = idle).
 
 This is the fastest way to *see* the paper's Section 6.2 anomaly: under
 conditional-switch without the forced interval, one thread's mark fills
@@ -14,11 +22,21 @@ work-queue lock everyone else spins on — never appear.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.events import TraceEvent, bursts
 
 _GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
 BurstEvent = Tuple[int, int, int, int, int]  # start, pid, tid, end, outcome
+
+
+def _as_bursts(events: Iterable) -> List[BurstEvent]:
+    """Normalize either burst tuples or a TraceEvent stream to bursts."""
+    events = list(events)
+    if events and isinstance(events[0], TraceEvent):
+        return list(bursts(events))
+    return events
 
 
 def render_timeline(
@@ -28,6 +46,7 @@ def render_timeline(
     until: "int | None" = None,
 ) -> str:
     """Render the burst *events* as one occupancy row per processor."""
+    events = _as_bursts(events)
     if not events:
         return "(empty timeline)"
     horizon = until if until is not None else max(end for _s, _p, _t, end, _o in events)
@@ -38,9 +57,15 @@ def render_timeline(
         [dict() for _ in range(width)] for _ in range(num_processors)
     ]
     for start, pid, tid, end, _outcome in events:
-        end = min(end, horizon)
+        # Widen degenerate (zero-length) bursts to one cycle *before*
+        # clamping to the horizon — the other order used to push a
+        # one-cycle mark past ``until``.  Events at/after the horizon
+        # are simply outside the chart.
         if end <= start:
             end = start + 1
+        if start >= horizon:
+            continue
+        end = min(end, horizon)
         col = start // bucket
         position = start
         while position < end and col < width:
@@ -70,6 +95,7 @@ def timeline_summary(
     events: Sequence[BurstEvent], num_processors: int
 ) -> Dict[int, Dict[int, int]]:
     """Busy cycles per thread per processor: {pid: {tid: cycles}}."""
+    events = _as_bursts(events)
     summary: Dict[int, Dict[int, int]] = {pid: {} for pid in range(num_processors)}
     for start, pid, tid, end, _outcome in events:
         summary[pid][tid] = summary[pid].get(tid, 0) + max(0, end - start)

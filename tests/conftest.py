@@ -19,6 +19,7 @@ def run_asm(
     latency: int = 200,
     local_size: int = 64,
     regs: Optional[Sequence[Dict[int, object]]] = None,
+    tracer=None,
     **config_extra,
 ) -> SimulationResult:
     """Assemble and simulate a snippet; returns the SimulationResult."""
@@ -32,6 +33,7 @@ def run_asm(
         latency=latency,
         local_size=local_size,
         regs=regs,
+        tracer=tracer,
         **config_extra,
     )
 
@@ -45,6 +47,7 @@ def run_program(
     latency: int = 200,
     local_size: int = 64,
     regs: Optional[Sequence[Dict[int, object]]] = None,
+    tracer=None,
     **config_extra,
 ) -> SimulationResult:
     if model is SwitchModel.IDEAL:
@@ -68,6 +71,7 @@ def run_program(
         list(shared) if shared is not None else [0] * 64,
         thread_regs,
         local_size=local_size,
+        tracer=tracer,
     )
     return sim.run()
 

@@ -156,3 +156,22 @@ def test_cli_smoke(capsys):
     assert "Figure 4" in out
     with pytest.raises(SystemExit):
         cli_main(["not-a-target"])
+
+
+def test_cli_json_embeds_engine_report(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "results.json"
+    assert cli_main([
+        "table1", "--scale", "tiny", "--quiet",
+        "--cache-dir", str(tmp_path / "cache"), "--json", str(out),
+    ]) == 0
+    document = json.loads(out.read_text())
+    assert "table1" in document["targets"]
+    engine = document["engine"]
+    assert engine["completed"] == engine["executed"] + engine["cached"] > 0
+    assert engine["cache_dir"] == str(tmp_path / "cache")
+    assert engine["runlog"] == str(tmp_path / "cache" / "runlog.jsonl")
+    assert (tmp_path / "cache" / "runlog.jsonl").exists()
+    stderr = capsys.readouterr().err
+    assert "run log" in stderr

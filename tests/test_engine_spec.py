@@ -168,6 +168,40 @@ def test_simstats_roundtrip():
     assert restored.hit_rate == stats.hit_rate
 
 
+def test_simstats_roundtrip_oracle_and_merge_counters():
+    """oracle_hits / oracle_misses / cache_merged must survive the wire."""
+    stats = SimStats(1, NetworkConfig())
+    stats.cache_hits = 9
+    stats.cache_misses = 4
+    stats.cache_merged = 3
+    stats.oracle_hits = 17
+    stats.oracle_misses = 5
+    restored = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert restored.cache_merged == 3
+    assert restored.oracle_hits == 17
+    assert restored.oracle_misses == 5
+    assert restored.oracle_hit_rate == stats.oracle_hit_rate == 17 / 22
+
+
+def test_msg_counts_keyed_by_stable_member_names():
+    """Serialized msg_counts keys are enum *names* (READ2), immune to a
+    rewording of the display values; legacy value keys still load."""
+    stats = SimStats(1, NetworkConfig())
+    for kind in MsgKind:
+        stats.count_message(kind, sync=False)
+    wire = stats.to_dict()
+    assert set(wire["msg_counts"]) == {kind.name for kind in MsgKind}
+    restored = SimStats.from_dict(json.loads(json.dumps(wire)))
+    assert restored.msg_counts == stats.msg_counts
+    # A payload written with value-spelled keys (older format) also loads.
+    legacy = dict(wire, msg_counts={kind.value: 1 for kind in MsgKind})
+    assert SimStats.from_dict(legacy).msg_counts == stats.msg_counts
+    assert MsgKind.from_name("READ2") is MsgKind.READ2
+    assert MsgKind.from_name("line-read") is MsgKind.LINE_READ
+    with pytest.raises(ValueError):
+        MsgKind.from_name("bogus")
+
+
 def test_simulation_result_roundtrip(tiny_ctx):
     result = tiny_ctx.run("sieve", SwitchModel.SWITCH_ON_LOAD, 2, 2)
     wire = json.loads(json.dumps(result.to_dict(include_shared=True)))

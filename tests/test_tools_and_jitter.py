@@ -85,6 +85,40 @@ def test_render_empty_timeline():
     assert "(empty timeline)" in render_timeline([], 1)
 
 
+def test_degenerate_burst_never_marks_past_horizon():
+    """Regression: a zero-length burst at the horizon used to be clamped
+    to the horizon first, then widened to one cycle — marking a bucket
+    *past* ``until``."""
+    events = [
+        (0, 0, 0, 100, 0),
+        (100, 0, 1, 100, 3),  # zero-length burst exactly at the horizon
+    ]
+    text = render_timeline(events, 1, width=10, until=100)
+    row = text.splitlines()[1][len("P0: "):]
+    assert row == "0" * 10  # thread 1's mark must not appear anywhere
+    # A degenerate burst *inside* the horizon still shows up as one cycle.
+    inside = render_timeline([(5, 0, 7, 5, 0)], 1, width=10, until=10)
+    assert "7" in inside.splitlines()[1]
+
+
+def test_timeline_accepts_trace_events():
+    """The ASCII timeline is a view over the obs event stream."""
+    from repro.machine import Simulator
+    from repro.isa import assemble
+    from repro.obs import RingTracer
+
+    tracer = RingTracer()
+    config = MachineConfig(
+        model=SwitchModel.SWITCH_ON_LOAD, threads_per_processor=2, latency=200
+    )
+    sim = Simulator(assemble(WORKLOAD), config, [0] * 64, [{}, {}], tracer=tracer)
+    sim.run()
+    from_events = render_timeline(tracer.events(), 1, width=40)
+    from_tuples = render_timeline(sim.timeline, 1, width=40)
+    assert from_events == from_tuples
+    assert timeline_summary(tracer.events(), 1) == timeline_summary(sim.timeline, 1)
+
+
 # -- jitter ----------------------------------------------------------------------
 
 
