@@ -15,7 +15,9 @@ engine underneath it, and ``repro-bench --help`` for the CLI.
 """
 
 from repro.api import list_apps, list_models, simulate, sweep
+from repro.check import CheckFailure, check_result, replay_check
 from repro.engine import Engine, ResultCache, RunSpec
+from repro.faults import FaultConfig
 from repro.machine import (
     CacheConfig,
     MachineConfig,
@@ -40,6 +42,10 @@ __all__ = [
     "MachineConfig",
     "CacheConfig",
     "NetworkConfig",
+    "FaultConfig",
+    "CheckFailure",
+    "check_result",
+    "replay_check",
     "SimStats",
     "SimulationResult",
     "Tracer",

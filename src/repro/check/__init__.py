@@ -1,0 +1,32 @@
+"""Invariant oracle and golden-replay checks for simulation results.
+
+``repro.check`` answers "can this run be trusted?" independently of any
+per-application result validator:
+
+* :func:`check_result` — conservation laws over a completed
+  :class:`~repro.machine.simulator.SimulationResult` (every issued
+  transaction completed, every drop was NACKed, every NACK retried, no
+  thread halted mid-flight, and — with faults off — the fault machinery
+  never fired);
+* :func:`replay_check` — the same spec and fault seed must serialize to
+  byte-identical :class:`~repro.machine.stats.SimStats` at any engine
+  worker count and across cache cold/warm runs;
+* :func:`zero_fault_equivalence` — an *inert* fault config must be
+  indistinguishable from no fault config at all.
+"""
+
+from repro.check.golden import (
+    canonical_stats,
+    replay_check,
+    zero_fault_equivalence,
+)
+from repro.check.invariants import CheckFailure, check_result, result_problems
+
+__all__ = [
+    "CheckFailure",
+    "check_result",
+    "result_problems",
+    "canonical_stats",
+    "replay_check",
+    "zero_fault_equivalence",
+]

@@ -1,0 +1,87 @@
+"""Golden-replay checks: the same seed must reproduce the same run.
+
+Fault decisions are pure hashes of ``(seed, transaction, attempt)`` and
+latency draws of ``(seed, time, addr)`` (see :mod:`repro.faults.rng`),
+so a spec's :class:`~repro.machine.stats.SimStats` must serialize to the
+same bytes no matter how the engine executed it — serially, across a
+worker pool, or restored from the on-disk cache.  These helpers make
+that property checkable (and :mod:`tests.test_check_oracle` enforces it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional, Sequence
+
+from repro.check.invariants import CheckFailure
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
+from repro.machine.simulator import SimulationResult
+from repro.machine.stats import SimStats
+
+
+def canonical_stats(stats: SimStats) -> str:
+    """Byte-stable serialization of *stats* (canonical JSON)."""
+    return json.dumps(stats.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def replay_check(
+    spec: RunSpec,
+    workers: Sequence[int] = (1, 2),
+    cache_dir: Optional[str] = None,
+) -> str:
+    """Run *spec* under each worker count (each in a fresh engine) and
+    assert the serialized stats are byte-identical; with *cache_dir*,
+    additionally assert a cache-warm rerun reproduces the cache-cold one.
+
+    Returns the canonical stats string; raises :class:`CheckFailure` on
+    any divergence.
+    """
+    reference: Optional[str] = None
+    reference_tag = ""
+    runs = [(f"workers={count}", count, None) for count in workers]
+    if cache_dir is not None:
+        runs += [
+            ("cache-cold", 1, cache_dir),
+            ("cache-warm", 1, cache_dir),
+        ]
+    for tag, count, cache in runs:
+        with Engine(workers=count, cache=cache) as engine:
+            result = engine.run(spec)
+            serialized = canonical_stats(result.stats)
+        if reference is None:
+            reference, reference_tag = serialized, tag
+        elif serialized != reference:
+            raise CheckFailure(
+                f"golden replay diverged for {spec.label()}: "
+                f"{tag} != {reference_tag}"
+            )
+    return reference
+
+
+def zero_fault_equivalence(spec: RunSpec) -> SimulationResult:
+    """An *inert* fault config must be invisible.
+
+    Runs *spec* twice — once with any ``faults`` override stripped, once
+    with an inert :class:`~repro.faults.config.FaultConfig` attached —
+    and asserts identical serialized stats and wall cycles.  This pins
+    the zero-perturbation contract at the wiring level: attaching the
+    fault subsystem without enabling anything changes no observable.
+    """
+    from repro.faults import FaultConfig
+
+    overrides = {key: value for key, value in spec.overrides if key != "faults"}
+    bare = dataclasses.replace(spec, overrides=tuple(sorted(overrides.items())))
+    inert = dataclasses.replace(
+        bare,
+        overrides=tuple(sorted({**overrides, "faults": FaultConfig()}.items())),
+    )
+    with Engine() as engine:
+        bare_result = engine.run(bare)
+        inert_result = engine.run(inert)
+    if canonical_stats(bare_result.stats) != canonical_stats(inert_result.stats):
+        raise CheckFailure(
+            f"inert fault config perturbed the run: {spec.label()}"
+        )
+    return bare_result

@@ -1,0 +1,98 @@
+"""Conservation-law oracle over completed simulation results.
+
+The laws hold by construction of the NACK/retry protocol
+(DESIGN §5d); checking them after every run catches protocol
+regressions — a dropped reply nobody retried, a double-applied retry, a
+thread that halted while a load was still in flight — that application
+result validators can miss (a lucky memory image can look correct).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.simulator import SimulationResult
+
+
+class CheckFailure(AssertionError):
+    """One or more invariants failed; the message lists every violation."""
+
+
+def result_problems(result: SimulationResult) -> List[str]:
+    """Every invariant violation found in *result* (empty = clean).
+
+    Works on both live results and cache-restored ones (restored results
+    carry no thread contexts, so the per-thread checks are skipped).
+    """
+    stats = result.stats
+    config = result.config
+    problems: List[str] = []
+
+    if stats.halted_threads != config.total_threads:
+        problems.append(
+            f"{stats.halted_threads} of {config.total_threads} threads halted"
+        )
+    if stats.mem_issued != stats.mem_completed:
+        problems.append(
+            "transaction conservation: issued "
+            f"{stats.mem_issued} != completed {stats.mem_completed}"
+        )
+    if stats.nacks != stats.replies_dropped:
+        problems.append(
+            f"every dropped reply must NACK: dropped {stats.replies_dropped} "
+            f"!= nacks {stats.nacks}"
+        )
+    if stats.retries != stats.nacks:
+        problems.append(
+            f"every NACK must retry: nacks {stats.nacks} "
+            f"!= retries {stats.retries}"
+        )
+    if sum(stats.per_proc_busy) != stats.busy_cycles:
+        problems.append(
+            f"busy-cycle ledger: per-processor sum {sum(stats.per_proc_busy)} "
+            f"!= total {stats.busy_cycles}"
+        )
+    if stats.wall_cycles > config.max_cycles:
+        problems.append(
+            f"wall cycles {stats.wall_cycles} exceed max_cycles "
+            f"{config.max_cycles}"
+        )
+
+    faults = config.faults
+    if faults is None or not faults.injects_faults:
+        fired = {
+            name: getattr(stats, name)
+            for name in (
+                "replies_dropped", "replies_delayed", "nacks", "retries",
+                "backoff_cycles", "faa_replays",
+            )
+            if getattr(stats, name)
+        }
+        if fired:
+            problems.append(
+                f"fault machinery fired with faults off: {fired}"
+            )
+
+    for thread in result.threads:  # empty for cache-restored results
+        if not thread.halted:
+            problems.append(f"thread {thread.tid} never halted")
+        if thread.inflight:
+            problems.append(
+                f"thread {thread.tid} holds in-flight registers at halt: "
+                f"{dict(thread.inflight)}"
+            )
+    return problems
+
+
+def check_result(
+    result: SimulationResult, label: Optional[str] = None
+) -> SimulationResult:
+    """Raise :class:`CheckFailure` listing every violated invariant;
+    returns *result* unchanged when clean (so call sites can chain)."""
+    problems = result_problems(result)
+    if problems:
+        prefix = f"{label}: " if label else ""
+        raise CheckFailure(
+            prefix + "invariant check failed:\n  - " + "\n  - ".join(problems)
+        )
+    return result

@@ -8,8 +8,11 @@ results (stale numbers can never leak into a table), while repeated or
 interrupted sweeps at the same version resume instantly.
 
 Writes are atomic (temp file + ``os.replace``), so a run killed
-mid-write leaves no corrupt entries, and unreadable entries are treated
-as misses rather than errors.
+mid-write leaves no corrupt entries.  Entries that are nonetheless
+unreadable (disk corruption, a foreign writer) are *quarantined* — moved
+to ``<root>/quarantine/`` and counted — rather than silently re-missed:
+the bytes stay available for diagnosis and the sweep proceeds as if the
+entry were absent.
 """
 
 from __future__ import annotations
@@ -62,10 +65,18 @@ class ResultCache:
         self.version = version if version is not None else code_version()
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries moved aside by :meth:`get` this session.
+        self.quarantined = 0
 
     @property
     def _bucket(self) -> Path:
         return self.root / self.version
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries end up (shared across code versions;
+        the original version prefixes each file name)."""
+        return self.root / "quarantine"
 
     @property
     def runlog_path(self) -> Path:
@@ -77,17 +88,34 @@ class ResultCache:
         return self._bucket / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict]:
-        """Stored payload for *key*, or ``None`` (corrupt entries count
-        as misses)."""
+        """Stored payload for *key*, or ``None``.
+
+        A present-but-undecodable entry is moved to
+        :attr:`quarantine_dir` and counted in :attr:`quarantined` (it
+        still reads as a miss, so the spec simply re-executes)."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            self._quarantine(path, key)
             return None
         self.hits += 1
         return payload
+
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a corrupt entry aside (best effort — a cache must never
+        fail a sweep, so a failed move degrades to a plain miss)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{self.version}-{key}.json")
+            self.quarantined += 1
+        except OSError:
+            pass
 
     def put(self, key: str, payload: Dict) -> None:
         """Atomically persist *payload* under *key*."""

@@ -87,7 +87,12 @@ def execute_spec(spec: RunSpec, include_shared: bool = False) -> Dict:
     except Exception as error:  # noqa: BLE001 — must cross process boundary
         return {
             "spec": spec.to_dict(),
-            "error": {"type": type(error).__name__, "message": str(error)},
+            # The spec label makes the payload triageable from the
+            # runlog alone (which app/model/shape failed, not just why).
+            "error": {
+                "type": type(error).__name__,
+                "message": f"{spec.label()}: {error}",
+            },
             "elapsed": time.perf_counter() - start,
             "worker": os.getpid(),
             "peak_rss_kb": peak_rss_kb(),
@@ -234,6 +239,7 @@ class Engine:
             "run_seconds": round(self._wall_time, 3),
             "wall_seconds": round(time.perf_counter() - self._started, 3),
             "workers": self.workers,
+            "quarantined": self.cache.quarantined if self.cache else 0,
             "cache_dir": str(self.cache.root) if self.cache else None,
             "runlog": str(self.runlog_path) if self.runlog_path else None,
             "peak_rss_kb": self._peak_rss_kb,
@@ -247,12 +253,18 @@ class Engine:
             if self.cache
             else ""
         )
+        quarantine_part = (
+            f"; {report['quarantined']} corrupt cache entr"
+            f"{'y' if report['quarantined'] == 1 else 'ies'} quarantined"
+            if report["quarantined"]
+            else ""
+        )
         return (
             f"[engine] {report['completed']} runs "
             f"({report['executed']} simulated{cache_part}, "
             f"{report['failed']} failed, {report['memo_hits']} memo hits), "
             f"{report['simulated_cycles']:,} cycles in {report['wall_seconds']:.1f}s "
-            f"with {report['workers']} worker(s)"
+            f"with {report['workers']} worker(s){quarantine_part}"
         )
 
     # -- payload plumbing ------------------------------------------------------
@@ -376,7 +388,10 @@ class Engine:
         except Exception as error:  # noqa: BLE001 — uniform failure payloads
             return None, {
                 "spec": spec.to_dict(),
-                "error": {"type": type(error).__name__, "message": str(error)},
+                "error": {
+                    "type": type(error).__name__,
+                    "message": f"{spec.label()}: {error}",
+                },
                 "elapsed": time.perf_counter() - start,
                 "worker": os.getpid(),
                 "peak_rss_kb": peak_rss_kb(),
@@ -388,6 +403,112 @@ class Engine:
             "worker": os.getpid(),
             "peak_rss_kb": peak_rss_kb(),
         }
+
+    def _run_serial_one(self, spec: RunSpec, key: str, total: int) -> None:
+        live, payload = self._execute_local(spec)
+        self._persist(key, payload)
+        self._absorb(spec, key, payload, "run", total)
+        if live is not None:
+            self._memo[key] = live
+
+    #: Fresh worker pools tried after a pool death before degrading to
+    #: serial execution (one transient crash — an OOM-killed worker —
+    #: should not serialise a whole sweep).
+    _POOL_RESTARTS = 1
+
+    def _run_pooled(
+        self, pending: List[Tuple[int, RunSpec, str]], total: int
+    ) -> None:
+        """Execute *pending* on the worker pool, surviving worker deaths.
+
+        Each future gets a wall-clock deadline stamped at *submission* —
+        a true per-run budget.  (Collection happens in input order, so a
+        per-collection ``result(timeout=...)`` would let earlier waits
+        eat later runs' budgets; with deadlines, time spent waiting on
+        run A also counts against run B, which has been executing — or
+        queued — just as long.)  A result that already landed is never
+        discarded, even if collected after its deadline.
+
+        On ``BrokenProcessPool`` the not-yet-resolved specs are
+        resubmitted to a fresh pool (:attr:`_POOL_RESTARTS` times), then
+        executed serially — a worker crash degrades throughput, never
+        completeness.
+        """
+        restarts = 0
+        remaining = list(pending)
+        while remaining:
+            pool = self._ensure_pool()
+            if pool is None:
+                for index, spec, key in remaining:
+                    self._run_serial_one(spec, key, total)
+                return
+            submitted = []
+            for index, spec, key in remaining:
+                future = pool.submit(execute_spec, spec)
+                deadline = (
+                    time.monotonic() + self.timeout
+                    if self.timeout is not None
+                    else None
+                )
+                submitted.append((index, spec, key, future, deadline))
+            leftovers: List[Tuple[int, RunSpec, str]] = []
+            broken = False
+            for index, spec, key, future, deadline in submitted:
+                try:
+                    budget = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    payload = future.result(timeout=budget)
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    payload = {
+                        "spec": spec.to_dict(),
+                        "error": {
+                            "type": "EngineRunError",
+                            "message": (
+                                f"{spec.label()}: per-run timeout "
+                                f"after {self.timeout}s"
+                            ),
+                        },
+                        "elapsed": self.timeout or 0.0,
+                    }
+                    # Wall-clock timeouts are machine load, not physics:
+                    # never persisted, so a retry gets a fresh chance.
+                    self._absorb(spec, key, payload, "run", total)
+                    continue
+                except (
+                    concurrent.futures.process.BrokenProcessPool,
+                    concurrent.futures.CancelledError,
+                ):
+                    # The pool died under this spec (or cancelled it
+                    # while dying); queue it for the retry round.
+                    broken = True
+                    leftovers.append((index, spec, key))
+                    continue
+                self._persist(key, payload)
+                self._absorb(spec, key, payload, "run", total)
+            if not leftovers:
+                return
+            if broken and self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            if restarts < self._POOL_RESTARTS:
+                restarts += 1
+                print(
+                    f"[engine] worker pool died; retrying {len(leftovers)} "
+                    "unresolved run(s) in a fresh pool",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "[engine] worker pool died again; finishing "
+                    f"{len(leftovers)} run(s) serially",
+                    file=sys.stderr,
+                )
+                self._pool_broken = True
+            remaining = leftovers
 
     def run_many(
         self,
@@ -421,43 +542,11 @@ class Engine:
                 claimed.add(key)
                 pending.append((index, spec, key))
 
-        pool = self._ensure_pool() if len(pending) > 1 else None
-        if pool is not None:
-            futures = [
-                (index, spec, key, pool.submit(execute_spec, spec))
-                for index, spec, key in pending
-            ]
-            for index, spec, key, future in futures:
-                try:
-                    payload = future.result(timeout=self.timeout)
-                except concurrent.futures.TimeoutError:
-                    future.cancel()
-                    payload = {
-                        "spec": spec.to_dict(),
-                        "error": {
-                            "type": "EngineRunError",
-                            "message": f"per-run timeout after {self.timeout}s",
-                        },
-                        "elapsed": self.timeout or 0.0,
-                    }
-                    # Wall-clock timeouts are machine load, not physics:
-                    # never persisted, so a retry gets a fresh chance.
-                    self._absorb(spec, key, payload, "run", total)
-                    continue
-                except concurrent.futures.process.BrokenProcessPool:
-                    # Pool died (OOM kill, sandbox): finish serially.
-                    self._pool_broken = True
-                    self._pool = None
-                    payload = execute_spec(spec)
-                self._persist(key, payload)
-                self._absorb(spec, key, payload, "run", total)
+        if len(pending) > 1 and self._ensure_pool() is not None:
+            self._run_pooled(pending, total)
         else:
             for index, spec, key in pending:
-                live, payload = self._execute_local(spec)
-                self._persist(key, payload)
-                self._absorb(spec, key, payload, "run", total)
-                if live is not None:
-                    self._memo[key] = live
+                self._run_serial_one(spec, key, total)
 
         results: List[Optional[SimulationResult]] = []
         first_failure: Optional[Dict] = None

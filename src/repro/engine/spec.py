@@ -16,6 +16,7 @@ import hashlib
 import json
 from typing import Dict, Optional, Tuple, Union
 
+from repro.faults.config import FaultConfig
 from repro.machine.config import (
     CacheConfig,
     MachineConfig,
@@ -30,7 +31,11 @@ DEFAULT_LATENCY = 200
 
 #: Override values may be dataclass configs; they are tagged on the way
 #: into JSON so ``from_dict`` can rebuild them.
-_OVERRIDE_KINDS = {"CacheConfig": CacheConfig, "NetworkConfig": NetworkConfig}
+_OVERRIDE_KINDS = {
+    "CacheConfig": CacheConfig,
+    "NetworkConfig": NetworkConfig,
+    "FaultConfig": FaultConfig,
+}
 
 
 def _encode_override(value):

@@ -1,0 +1,44 @@
+"""Fault injection: non-ideal network latency models and transient
+reply loss/delay for the shared-memory transaction path.
+
+The paper's machine assumes a constant round-trip latency with ordered,
+lossless delivery.  This package supplies the knobs to relax each of
+those assumptions — deterministically, from a seed — while keeping the
+constant-latency, fault-free configuration bit-identical to the plain
+machine (see DESIGN §5d):
+
+* :class:`FaultConfig` — the frozen description attached to
+  :class:`~repro.machine.config.MachineConfig` (``faults=``);
+* :func:`build_latency_model` — pluggable round-trip models
+  (constant / uniform jitter / geometric jitter / hot-spot contention);
+* :func:`build_fault_plan` — per-transaction reply loss and delayed
+  delivery decisions, hashed from ``(seed, transaction, attempt)``;
+* :class:`RetryLimitExceeded` — raised when the NACK/retry protocol in
+  :class:`~repro.machine.processor.Processor` exhausts its attempt
+  budget.
+"""
+
+from repro.faults.config import FaultConfig, LATENCY_MODELS
+from repro.faults.latency import (
+    ConstantLatency,
+    GeometricJitterLatency,
+    HotSpotLatency,
+    LatencyModel,
+    UniformJitterLatency,
+    build_latency_model,
+)
+from repro.faults.plan import FaultPlan, RetryLimitExceeded, build_fault_plan
+
+__all__ = [
+    "FaultConfig",
+    "LATENCY_MODELS",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformJitterLatency",
+    "GeometricJitterLatency",
+    "HotSpotLatency",
+    "build_latency_model",
+    "FaultPlan",
+    "RetryLimitExceeded",
+    "build_fault_plan",
+]

@@ -1,0 +1,72 @@
+"""Shared command-line surface for fault injection.
+
+``repro-bench`` and ``repro-trace`` expose the same four flags
+(``--latency-model``, ``--fault-rate``, ``--fault-seed``, ``--check``)
+plus ``--fault-jitter``; this module keeps their spelling, defaults and
+FaultConfig translation in one place.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.faults.config import LATENCY_MODELS, FaultConfig
+
+
+def add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the fault-injection flags on *parser*."""
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--latency-model",
+        default="constant",
+        choices=LATENCY_MODELS,
+        help="round-trip latency model (default: constant, the paper's)",
+    )
+    group.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability each memory reply is dropped in flight; "
+        "dropped replies are NACKed and retried with capped "
+        "exponential backoff (default: 0)",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for every fault/latency draw — the same seed "
+        "reproduces the same run bit for bit (default: 0)",
+    )
+    group.add_argument(
+        "--fault-jitter",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="jitter magnitude for the uniform/geometric latency models "
+        "(default: half the base latency)",
+    )
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="run the repro.check invariant oracle on every result "
+        "(transaction conservation, NACK/retry accounting, clean halts)",
+    )
+
+
+def fault_config_from_args(args, base_latency: int) -> Optional[FaultConfig]:
+    """The :class:`FaultConfig` the parsed *args* describe, or ``None``
+    when they leave the machine unperturbed (constant latency, no loss)."""
+    if args.latency_model == "constant" and args.fault_rate <= 0.0:
+        return None
+    jitter = args.fault_jitter
+    if jitter is None:
+        jitter = max(1, base_latency // 2)
+    return FaultConfig(
+        latency_model=args.latency_model,
+        jitter=jitter,
+        seed=args.fault_seed,
+        loss_rate=args.fault_rate,
+    )

@@ -1,0 +1,105 @@
+"""The frozen description of one fault-injection scenario.
+
+Kept dependency-free (no imports from :mod:`repro.machine`) so the
+machine layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+#: Recognised round-trip latency model names (see
+#: :mod:`repro.faults.latency`).
+LATENCY_MODELS = ("constant", "uniform", "geometric", "hotspot")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Seeded-deterministic network misbehaviour for one machine.
+
+    The default instance is *inert*: ``latency_model="constant"`` with
+    zero loss/delay rates reproduces the plain machine bit for bit (the
+    simulator then installs no latency model and no fault plan, so the
+    hot paths are untouched).  Requests are still delivered reliably and
+    in order — faults apply to the *return* leg of value-returning
+    transactions (READ/READ2/FAA/LINE_READ), which is where the paper's
+    latency-tolerance argument lives; fire-and-forget stores have no
+    reply to lose.
+    """
+
+    #: Round-trip latency model: ``constant`` (the paper), ``uniform``
+    #: (``latency + U[0, jitter]``), ``geometric`` (``latency + G`` with
+    #: mean ``jitter``, capped), or ``hotspot`` (a service queue per
+    #: memory module; contended modules stretch the round trip).
+    latency_model: str = "constant"
+    #: Jitter magnitude in cycles (uniform bound / geometric mean).
+    jitter: int = 0
+    #: Seed for every hashed decision (latency draws, loss, delay).
+    seed: int = 0
+    #: Probability that one reply is dropped in flight (NACK + retry).
+    loss_rate: float = 0.0
+    #: Probability that one reply is delayed (but still delivered).
+    delay_rate: float = 0.0
+    #: Maximum extra cycles a delayed reply can take (drawn uniformly
+    #: from ``[1, delay_cycles]``).
+    delay_cycles: int = 64
+    #: Retry budget per transaction before the processor gives up
+    #: (:class:`~repro.faults.plan.RetryLimitExceeded`).
+    max_retries: int = 16
+    #: Backoff before retry *n* is ``min(backoff_base << (n-1),
+    #: backoff_cap)`` cycles — capped exponential.
+    backoff_base: int = 8
+    backoff_cap: int = 1024
+    #: Hot-spot model shape: number of interleaved memory modules and
+    #: the per-request service occupancy of a module, in cycles.
+    hotspot_modules: int = 16
+    hotspot_service: int = 4
+
+    def __post_init__(self) -> None:
+        if self.latency_model not in LATENCY_MODELS:
+            raise ValueError(
+                f"unknown latency model {self.latency_model!r} "
+                f"(choose from {', '.join(LATENCY_MODELS)})"
+            )
+        for name in ("loss_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.delay_cycles < 1:
+            raise ValueError("delay_cycles must be positive")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.backoff_base < 1 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 1 <= backoff_base <= backoff_cap")
+        if self.hotspot_modules < 1 or self.hotspot_service < 1:
+            raise ValueError("hotspot_modules and hotspot_service must be >= 1")
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def injects_faults(self) -> bool:
+        """Whether any reply can be lost or delayed."""
+        return self.loss_rate > 0.0 or self.delay_rate > 0.0
+
+    @property
+    def perturbs_latency(self) -> bool:
+        """Whether the round trip deviates from the constant model."""
+        return self.latency_model != "constant"
+
+    @property
+    def inert(self) -> bool:
+        """An inert config must behave exactly like ``faults=None``."""
+        return not (self.injects_faults or self.perturbs_latency)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})

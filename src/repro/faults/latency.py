@@ -1,0 +1,134 @@
+"""Pluggable round-trip latency models.
+
+A latency model answers one question: *how many cycles does this
+value-returning transaction's round trip take?*  The simulator calls
+``round_trip(time, addr)`` once per issue (and once per retry reissue).
+Models are deterministic — either stateless hashes of ``(seed, time,
+addr)`` or, for the hot-spot queue, state updated in simulator event
+order, which is itself deterministic.
+
+``constant`` is special-cased: :func:`build_latency_model` returns
+``None`` for it, and the simulator keeps its original arithmetic
+(``latency + legacy jitter``) — the zero-perturbation fast path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.faults.config import FaultConfig
+from repro.faults.rng import bounded, unit
+
+
+class LatencyModel:
+    """Base class; subclasses define :meth:`round_trip`."""
+
+    name = "abstract"
+
+    def round_trip(self, time: int, addr: int) -> int:
+        """Round-trip cycles for a transaction issued at *time* to *addr*."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """The paper's model: every round trip takes exactly *base* cycles.
+
+    Provided for completeness (e.g. composing models in tests); the
+    simulator's fast path never instantiates it.
+    """
+
+    name = "constant"
+
+    def __init__(self, base: int):
+        self.base = base
+
+    def round_trip(self, time: int, addr: int) -> int:
+        return self.base
+
+
+class UniformJitterLatency(LatencyModel):
+    """``base + U[0, jitter]``, hashed from ``(seed, time, addr)``."""
+
+    name = "uniform"
+
+    def __init__(self, base: int, jitter: int, seed: int):
+        self.base = base
+        self.jitter = jitter
+        self.seed = seed
+
+    def round_trip(self, time: int, addr: int) -> int:
+        return self.base + bounded(self.jitter, self.seed, time, addr, 0x301)
+
+
+class GeometricJitterLatency(LatencyModel):
+    """``base + G`` where ``G`` is geometric with mean *jitter*.
+
+    A heavy-ish tail (occasional much-slower round trips) — the shape
+    congested multistage networks actually show.  The draw is capped at
+    ``16 * jitter`` so a single unlucky hash cannot stall a run beyond
+    the simulation's timeout.
+    """
+
+    name = "geometric"
+
+    def __init__(self, base: int, jitter: int, seed: int):
+        self.base = base
+        self.jitter = max(1, jitter)
+        self.seed = seed
+        # P(success) giving mean (1-p)/p == jitter.
+        self._log_q = math.log1p(-1.0 / (self.jitter + 1))
+
+    def round_trip(self, time: int, addr: int) -> int:
+        u = unit(self.seed, time, addr, 0x607)
+        extra = int(math.log1p(-u) / self._log_q) if u > 0.0 else 0
+        return self.base + min(extra, 16 * self.jitter)
+
+
+class HotSpotLatency(LatencyModel):
+    """Contention queue at each of *modules* interleaved memory modules.
+
+    Each request occupies its module (``addr % modules``) for *service*
+    cycles starting when it arrives (``time + base/2``); a request
+    finding the module busy queues behind it.  Concentrated traffic — a
+    shared counter, a hot row — therefore stretches round trips, while
+    well-spread traffic pays only the service time.  State evolves in
+    simulator event order, so runs stay deterministic.
+    """
+
+    name = "hotspot"
+
+    def __init__(self, base: int, modules: int, service: int):
+        self.base = base
+        self.half = base // 2
+        self.service = service
+        self.modules = modules
+        self._busy_until: List[int] = [0] * modules
+
+    def round_trip(self, time: int, addr: int) -> int:
+        arrival = time + self.half
+        module = addr % self.modules
+        start = self._busy_until[module]
+        if start < arrival:
+            start = arrival
+        self._busy_until[module] = start + self.service
+        return self.base + (start - arrival) + self.service
+
+
+def build_latency_model(
+    config: FaultConfig, base_latency: int
+) -> Optional[LatencyModel]:
+    """Instantiate the configured model, or ``None`` for ``constant``
+    (the simulator then keeps its original, bit-exact arithmetic)."""
+    name = config.latency_model
+    if name == "constant":
+        return None
+    if name == "uniform":
+        return UniformJitterLatency(base_latency, config.jitter, config.seed)
+    if name == "geometric":
+        return GeometricJitterLatency(base_latency, config.jitter, config.seed)
+    if name == "hotspot":
+        return HotSpotLatency(
+            base_latency, config.hotspot_modules, config.hotspot_service
+        )
+    raise ValueError(f"unknown latency model {name!r}")  # pragma: no cover

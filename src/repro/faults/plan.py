@@ -1,0 +1,67 @@
+"""Per-transaction fault decisions: reply loss and delayed delivery.
+
+A :class:`FaultPlan` is consulted once per reply attempt with the
+transaction's fault id (a simulator-local sequence number) and the
+attempt number; the verdict is a pure hash of ``(seed, txn, attempt)``,
+so the same seed reproduces the same fault pattern regardless of worker
+count or event-heap internals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.faults.config import FaultConfig
+from repro.faults.rng import bounded, unit
+
+#: Domain-separation tags so the loss and delay draws of one attempt are
+#: independent.
+_LOSS_TAG = 0x105E
+_DELAY_TAG = 0xDE1A
+_DELAY_AMOUNT_TAG = 0xA407
+
+
+class RetryLimitExceeded(RuntimeError):
+    """The NACK/retry protocol exhausted ``FaultConfig.max_retries``
+    attempts for one transaction (pathological loss rate)."""
+
+
+class FaultPlan:
+    """Deterministic oracle for the fate of each reply attempt."""
+
+    __slots__ = ("seed", "loss_rate", "delay_rate", "delay_cycles")
+
+    def __init__(
+        self, seed: int, loss_rate: float, delay_rate: float, delay_cycles: int
+    ):
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.delay_rate = delay_rate
+        self.delay_cycles = delay_cycles
+
+    def reply_fate(self, txn: int, attempt: int) -> Tuple[bool, int]:
+        """``(lost, extra_delay)`` for attempt *attempt* of transaction
+        *txn*.  ``lost=True`` means the reply vanishes (the issuer will
+        NACK and retry); otherwise ``extra_delay`` (possibly 0) cycles
+        are added to the delivery time."""
+        if self.loss_rate and unit(self.seed, txn, attempt, _LOSS_TAG) < self.loss_rate:
+            return True, 0
+        if (
+            self.delay_rate
+            and unit(self.seed, txn, attempt, _DELAY_TAG) < self.delay_rate
+        ):
+            extra = 1 + bounded(
+                self.delay_cycles - 1, self.seed, txn, attempt, _DELAY_AMOUNT_TAG
+            )
+            return False, extra
+        return False, 0
+
+
+def build_fault_plan(config: FaultConfig) -> Optional[FaultPlan]:
+    """Instantiate the plan, or ``None`` when no faults are configured
+    (the simulator then keeps its original single-event delivery path)."""
+    if not config.injects_faults:
+        return None
+    return FaultPlan(
+        config.seed, config.loss_rate, config.delay_rate, config.delay_cycles
+    )

@@ -1,0 +1,40 @@
+"""Stateless deterministic randomness for fault decisions.
+
+Every draw is a pure function of its inputs (a splitmix64-style mixer),
+so fault behaviour is reproducible run to run, independent of event
+ordering, worker count, and Python hash randomisation — the property
+the golden-replay check in :mod:`repro.check` relies on.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int) -> int:
+    """One splitmix64 output step: a high-quality 64-bit mix."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def hash_u64(*parts: int) -> int:
+    """Fold integer *parts* into one well-mixed 64-bit value."""
+    state = 0
+    for part in parts:
+        state = mix64((state + part * _GOLDEN + _GOLDEN) & _MASK)
+    return state
+
+
+def unit(*parts: int) -> float:
+    """Deterministic draw in ``[0, 1)`` from the hash of *parts*."""
+    return hash_u64(*parts) / float(1 << 64)
+
+
+def bounded(bound: int, *parts: int) -> int:
+    """Deterministic draw in ``[0, bound]`` from the hash of *parts*."""
+    if bound <= 0:
+        return 0
+    return hash_u64(*parts) % (bound + 1)

@@ -10,7 +10,9 @@ These probe the design choices DESIGN.md calls out:
 * *switch-cost sensitivity* — what pipeline-flush cost does to the
   switch-on-miss model (the paper's Section 3 zero-cost argument);
 * *forced-interval study* — Section 6.2's critical-section fix: turn the
-  200-cycle cap off and watch lock-heavy ugray degrade.
+  200-cycle cap off and watch lock-heavy ugray degrade;
+* *fault sensitivity* — latency jitter, hot-spot contention and dropped
+  replies (NACK/retry) vs the explicit- vs conditional-switch ranking.
 """
 
 from __future__ import annotations
@@ -233,10 +235,79 @@ def jitter_study(
     return table.render(), data
 
 
+def fault_sensitivity(
+    ctx: ExperimentContext,
+    app_name: str = "sor",
+    level: int = 8,
+) -> Tuple[str, Dict]:
+    """Latency variance and reply loss vs the switch-model ranking.
+
+    The paper's conclusions assume a constant, reliable round trip.
+    This study perturbs both assumptions with the seeded fault models of
+    :mod:`repro.faults` — uniform and geometric return-path jitter, a
+    hot-spot contention queue per memory module, and 1% dropped replies
+    (recovered via NACK + capped-backoff retry) — and watches whether
+    explicit-switch keeps its edge over conditional-switch once its
+    carefully grouped remote accesses no longer return in lockstep.
+    """
+    from repro.faults import FaultConfig
+
+    jitter = max(1, ctx.latency // 2)
+    scenarios = [
+        ("constant", None),
+        (
+            f"uniform +U[0,{jitter}]",
+            FaultConfig(latency_model="uniform", jitter=jitter),
+        ),
+        (
+            f"geometric mean~{jitter}",
+            FaultConfig(latency_model="geometric", jitter=jitter),
+        ),
+        ("hot-spot modules", FaultConfig(latency_model="hotspot")),
+        ("1% reply loss", FaultConfig(loss_rate=0.01)),
+    ]
+    models = (SwitchModel.EXPLICIT_SWITCH, SwitchModel.CONDITIONAL_SWITCH)
+    table = TextTable(
+        f"Ablation: fault-model sensitivity, {app_name} "
+        f"(P={ctx.processors}, M={level}, base latency {ctx.latency})",
+        ["scenario"] + [f"{model.value} eff" for model in models] + ["retries"],
+    )
+
+    def extra(config):
+        return {} if config is None else {"faults": config}
+
+    ctx.prefetch(
+        ctx.spec(app_name, model, ctx.processors, level, **extra(config))
+        for _, config in scenarios
+        for model in models
+    )
+    data: Dict[str, Dict] = {}
+    for name, config in scenarios:
+        row = [name]
+        retries = 0
+        entry = {}
+        for model in models:
+            result = ctx.run(
+                app_name, model, ctx.processors, level, **extra(config)
+            )
+            efficiency = ctx.efficiency(result, app_name)
+            row.append(f"{efficiency:.2f}")
+            retries += result.stats.retries
+            entry[model.value] = {
+                "efficiency": efficiency,
+                "retries": result.stats.retries,
+            }
+        row.append(retries)
+        table.add_row(row)
+        data[name] = entry
+    return table.render(), data
+
+
 ALL_ABLATIONS = {
     "latency": latency_sweep,
     "shootout": model_shootout,
     "switch-cost": switch_cost_sensitivity,
     "forced-interval": forced_interval_study,
     "jitter": jitter_study,
+    "faults": fault_sensitivity,
 }

@@ -27,6 +27,7 @@ from typing import Dict, List
 
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.executor import Engine, stderr_progress
+from repro.faults.cliargs import add_fault_arguments, fault_config_from_args
 from repro.harness.context import ExperimentContext
 from repro.harness.tables import ALL_TABLES
 from repro.harness.figures import ALL_FIGURES
@@ -37,6 +38,7 @@ def _targets() -> List[str]:
     return (
         sorted(ALL_TABLES)
         + sorted(ALL_FIGURES)
+        + sorted(ALL_ABLATIONS)
         + ["ablations", "all"]
     )
 
@@ -110,10 +112,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="suppress per-run progress lines on stderr",
     )
+    add_fault_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    try:
+        faults = fault_config_from_args(args, args.latency)
+    except ValueError as error:
+        parser.error(str(error))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     engine = Engine(
         workers=args.workers,
@@ -125,6 +132,8 @@ def main(argv=None) -> int:
         latency=args.latency,
         processors=args.processors,
         engine=engine,
+        faults=faults,
+        check=args.check,
     )
 
     if args.target == "all":
@@ -167,6 +176,8 @@ def main(argv=None) -> int:
                     "latency": args.latency,
                     "workers": args.workers,
                     "cache": not args.no_cache,
+                    "check": args.check,
+                    "faults": faults.to_dict() if faults is not None else None,
                 },
                 "targets": targets_out,
                 "engine": engine.report(),

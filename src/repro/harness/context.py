@@ -39,6 +39,8 @@ class ExperimentContext:
         workers: int = 1,
         cache=None,
         engine: Optional[Engine] = None,
+        faults=None,
+        check: bool = False,
     ):
         self.scale = scale
         self.sizes = scale_sizes(scale)
@@ -46,6 +48,14 @@ class ExperimentContext:
         #: Processor count used by the multithreading-level tables.
         self.processors = processors
         self.max_level = max_level
+        #: Fault-injection scenario (a :class:`repro.faults.FaultConfig`)
+        #: applied to every non-ideal machine this context builds; the
+        #: IDEAL baseline keeps the plain machine so efficiency stays
+        #: measured against the paper's reference.
+        self.faults = faults
+        #: Run the :mod:`repro.check` invariant oracle after every
+        #: :meth:`run` (raises on any conservation-law violation).
+        self.check = check
         #: The execution backbone.  *cache* may be a
         #: :class:`repro.engine.ResultCache` or a directory path; ``None``
         #: keeps everything in-process (hermetic — the default for tests).
@@ -105,6 +115,12 @@ class ExperimentContext:
             if latency is not None
             else (0 if SwitchModel(model) is SwitchModel.IDEAL else self.latency)
         )
+        if (
+            self.faults is not None
+            and "faults" not in config_extra
+            and SwitchModel(model) is not SwitchModel.IDEAL
+        ):
+            config_extra["faults"] = self.faults
         return RunSpec(
             app=app_name,
             model=model,
@@ -130,12 +146,16 @@ class ExperimentContext:
         **config_extra,
     ) -> SimulationResult:
         """Simulate one configuration (memoised by the engine)."""
-        return self.engine.run(
-            self.spec(
-                app_name, model, processors, level,
-                oracle=oracle, latency=latency, **config_extra,
-            )
+        spec = self.spec(
+            app_name, model, processors, level,
+            oracle=oracle, latency=latency, **config_extra,
         )
+        result = self.engine.run(spec)
+        if self.check:
+            from repro.check import check_result
+
+            check_result(result, label=spec.label())
+        return result
 
     def prefetch(self, specs: Iterable[RunSpec]) -> None:
         """Warm the engine memo for an upcoming sweep.

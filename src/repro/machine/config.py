@@ -14,6 +14,7 @@ import hashlib
 import json
 from typing import Dict, Optional
 
+from repro.faults.config import FaultConfig
 from repro.machine.models import SwitchModel
 
 #: Canonical names for the keyword spellings that historically diverged
@@ -126,6 +127,11 @@ class MachineConfig:
     #: variance"; this knob probes that.  Jitter breaks ordered delivery,
     #: under which round-robin scheduling is optimal (Section 3).
     latency_jitter: int = 0
+    #: Fault injection (see :mod:`repro.faults`): non-constant latency
+    #: models and transient reply loss/delay with NACK/retry recovery.
+    #: ``None`` — and any *inert* :class:`~repro.faults.config.FaultConfig`
+    #: — reproduces the plain machine bit for bit.
+    faults: Optional[FaultConfig] = None
     #: Safety valve: abort the simulation after this many cycles.
     max_cycles: int = 2_000_000_000
 
@@ -175,7 +181,7 @@ class MachineConfig:
             value = getattr(self, field.name)
             if field.name == "model":
                 value = value.value
-            elif field.name in ("cache", "network"):
+            elif field.name in ("cache", "network", "faults"):
                 value = dataclasses.asdict(value) if value is not None else None
             out[field.name] = value
         return out
@@ -190,6 +196,10 @@ class MachineConfig:
             data["network"] = NetworkConfig(**data["network"])
         else:
             data.pop("network", None)
+        if data.get("faults") is not None:
+            data["faults"] = FaultConfig.from_dict(data["faults"])
+        else:
+            data.pop("faults", None)
         known = {field.name for field in dataclasses.fields(cls)}
         return cls(**{key: value for key, value in data.items() if key in known})
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Sequence
 
+from repro.faults import build_fault_plan, build_latency_model
 from repro.isa.program import Program
 from repro.machine.cache import Cache
 from repro.machine.config import MachineConfig
@@ -185,6 +186,22 @@ class Simulator:
             tracer = TimelineTracer()
         self.tracer: Optional[Tracer] = tracer
         self._jitter_range = config.latency_jitter
+        #: Fault injection (repro.faults).  Both stay ``None`` for the
+        #: constant-latency, fault-free machine, keeping every memory
+        #: path on its original arithmetic — the zero-perturbation
+        #: contract mirrors the tracer's: one ``is None`` check per issue.
+        self.fault_config = config.faults
+        self._latency_model = None
+        self._fault_plan = None
+        if config.faults is not None:
+            self._latency_model = build_latency_model(config.faults, config.latency)
+            self._fault_plan = build_fault_plan(config.faults)
+        #: Fault-transaction sequence (ids feed the FaultPlan hashes).
+        self._txn_seq = 0
+        #: Fetch-and-Add idempotent-replay buffer: fault txn id -> the
+        #: old value returned by the (single) application at memory.
+        #: Populated only when an FAA reply is lost, drained on delivery.
+        self._faa_replay = {}
 
     @property
     def timeline(self) -> Optional[List]:
@@ -226,14 +243,14 @@ class Simulator:
             if time > max_cycles:
                 raise SimulationTimeout(
                     f"simulation exceeded {max_cycles} cycles "
-                    f"({self.live_threads} threads still live)"
+                    f"({self.live_threads} threads still live) [{self.describe()}]"
                 )
             self.now = time
             fn(time, arg)
         if self.live_threads:
             raise SimulationTimeout(
                 f"event queue drained with {self.live_threads} threads "
-                "still live (deadlock)"
+                f"still live (deadlock) [{self.describe()}]"
             )
         self.stats.wall_cycles = self.last_halt_time
         for proc in self.processors:
@@ -250,6 +267,25 @@ class Simulator:
             self.config,
             self.program,
         )
+
+    def describe(self) -> str:
+        """Short configuration tag for error messages, so a timeout in an
+        engine runlog is triageable without re-deriving the spec."""
+        config = self.config
+        parts = [
+            f"model={config.model.value}",
+            f"P={config.num_processors}",
+            f"M={config.threads_per_processor}",
+            f"latency={config.latency}",
+        ]
+        faults = config.faults
+        if faults is not None and not faults.inert:
+            parts.append(
+                f"faults={faults.latency_model}"
+                f"/loss={faults.loss_rate}/delay={faults.delay_rate}"
+                f"/seed={faults.seed}"
+            )
+        return " ".join(parts)
 
     def thread_halted(self, time: int) -> None:
         self.live_threads -= 1
@@ -270,6 +306,28 @@ class Simulator:
         h = (time * 2654435761 + addr * 2246822519 + 3266489917) & 0xFFFFFFFF
         return (h >> 9) % (self._jitter_range + 1)
 
+    def _round_trip(self, time: int, addr: int) -> int:
+        """Round-trip cycles for a transaction issued now to *addr*.
+
+        With no fault-injection latency model this is the original
+        arithmetic (constant latency + legacy jitter knob), kept inline
+        and bit-exact; otherwise the pluggable model decides."""
+        model = self._latency_model
+        if model is None:
+            return self.latency + self._jitter(time, addr)
+        return model.round_trip(time, addr)
+
+    def _mark_inflight(
+        self, thread: ThreadContext, dest: int, nwords: int, ready: int
+    ) -> None:
+        """(Re)stamp the scoreboard for an outstanding load's registers —
+        used by the retry/delay paths when a reply's arrival moves."""
+        thread.inflight[dest] = ready
+        if nwords == 2:
+            thread.inflight[dest + 1] = ready
+        if ready > thread.pending_until:
+            thread.pending_until = ready
+
     # -- uncached shared-memory transactions ------------------------------------
 
     def mem_load(
@@ -285,7 +343,8 @@ class Simulator:
         memory at ``time + latency/2`` and usable at ``time + latency``."""
         kind = MsgKind.READ if nwords == 1 else MsgKind.READ2
         self.stats.count_message(kind, sync)
-        ready = time + self.latency + self._jitter(time, addr)
+        self.stats.mem_issued += 1
+        ready = time + self._round_trip(time, addr)
         txn = 0
         if self.tracer is not None:
             txn = self.tracer.mem_issue(
@@ -297,19 +356,100 @@ class Simulator:
             thread.inflight[dest + 1] = ready
         if ready > thread.pending_until:
             thread.pending_until = ready
+        if self._fault_plan is None:
+            self.schedule(
+                time + self.half_latency,
+                self._load_event,
+                (addr, nwords, thread, dest, ready, txn),
+            )
+            return
+        self._txn_seq += 1
         self.schedule(
             time + self.half_latency,
-            self._load_event,
-            (addr, nwords, thread, dest, ready, txn),
+            self._faulty_load_event,
+            (addr, nwords, thread, dest, ready, txn, self._txn_seq, 1, sync),
         )
 
     def _load_event(self, time: int, arg) -> None:
         addr, nwords, thread, dest, ready, txn = arg
+        self.stats.mem_completed += 1
         thread.deliver(dest, self.shared[addr], ready)
         if nwords == 2:
             thread.deliver(dest + 1, self.shared[addr + 1], ready)
         if self.tracer is not None:
             self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
+
+    # -- fault-injected load path (repro.faults) ---------------------------------
+
+    def _faulty_load_event(self, time: int, arg) -> None:
+        """Request arrival at memory when a fault plan is active: decide
+        the reply's fate, then deliver, delay, or NACK."""
+        addr, nwords, thread, dest, ready, txn, ftxn, attempt, sync = arg
+        lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
+        if lost:
+            # The reply vanishes in flight; the issuing processor notices
+            # at the expected arrival time.  Priority 1 lands the NACK
+            # before any dispatch of the waiting thread at that cycle.
+            self.stats.replies_dropped += 1
+            self.schedule(
+                ready,
+                self._load_nack_event,
+                (addr, nwords, thread, dest, txn, ftxn, attempt, sync),
+                priority=1,
+            )
+            return
+        # The value is read at memory now (request arrival), exactly as
+        # on the fault-free path; a delayed reply only moves delivery.
+        values = (
+            (self.shared[addr],)
+            if nwords == 1
+            else (self.shared[addr], self.shared[addr + 1])
+        )
+        if delay:
+            self.stats.replies_delayed += 1
+            ready += delay
+            self._mark_inflight(thread, dest, nwords, ready)
+            self.schedule(
+                ready, self._late_deliver_event, (values, thread, dest, ready, txn),
+                priority=1,
+            )
+            return
+        self.stats.mem_completed += 1
+        for offset, value in enumerate(values):
+            thread.deliver(dest + offset, value, ready)
+        if self.tracer is not None:
+            self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
+
+    def _late_deliver_event(self, time: int, arg) -> None:
+        """Deliver a delayed reply (values were read at memory on arrival)."""
+        values, thread, dest, ready, txn = arg
+        self.stats.mem_completed += 1
+        for offset, value in enumerate(values):
+            thread.deliver(dest + offset, value, ready)
+        if self.tracer is not None:
+            self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
+
+    def _load_nack_event(self, time: int, arg) -> None:
+        """The issuing processor detects a lost load reply and retries."""
+        addr, nwords, thread, dest, txn, ftxn, attempt, sync = arg
+        pid = self._pid_of(thread.tid)
+        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt)
+        reissue = time + backoff
+        kind = MsgKind.READ if nwords == 1 else MsgKind.READ2
+        self.stats.count_message(kind, sync)  # retries re-spend bandwidth
+        self.stats.retries += 1
+        ready = reissue + self._round_trip(reissue, addr)
+        if self.tracer is not None:
+            self.tracer.mem_retry(reissue, pid, thread.tid, txn, attempt)
+            txn = self.tracer.mem_issue(
+                reissue, pid, thread.tid, kind.name, addr, ready - reissue
+            )
+        self._mark_inflight(thread, dest, nwords, ready)
+        self.schedule(
+            reissue + self.half_latency,
+            self._faulty_load_event,
+            (addr, nwords, thread, dest, ready, txn, ftxn, attempt + 1, sync),
+        )
 
     def mem_store(
         self, time: int, addr: int, values: tuple, sync: bool, tid: int = -1
@@ -346,7 +486,8 @@ class Simulator:
     ) -> None:
         """Fetch-and-Add: atomic at the memory module (combining network)."""
         self.stats.count_message(MsgKind.FAA, sync)
-        ready = time + self.latency + self._jitter(time, addr)
+        self.stats.mem_issued += 1
+        ready = time + self._round_trip(time, addr)
         txn = 0
         if self.tracer is not None:
             txn = self.tracer.mem_issue(
@@ -356,16 +497,25 @@ class Simulator:
         thread.inflight[dest] = ready
         if ready > thread.pending_until:
             thread.pending_until = ready
+        if self._fault_plan is None:
+            self.schedule(
+                time + self.half_latency,
+                self._faa_event,
+                (addr, thread, dest, addend, ready, txn),
+            )
+            return
+        self._txn_seq += 1
         self.schedule(
             time + self.half_latency,
-            self._faa_event,
-            (addr, thread, dest, addend, ready, txn),
+            self._faulty_faa_event,
+            (addr, thread, dest, addend, ready, txn, self._txn_seq, 1, sync),
         )
 
     def _faa_event(self, time: int, arg) -> None:
         addr, thread, dest, addend, ready, txn = arg
         old = self.shared[addr]
         self.shared[addr] = old + addend
+        self.stats.mem_completed += 1
         thread.deliver(dest, old, ready)
         if self.tracer is not None:
             self.tracer.faa_combine(time, addr, old, addend)
@@ -373,6 +523,81 @@ class Simulator:
         if self.directory is not None:
             line = addr // self.config.cache.line_words
             self._invalidate_sharers(time, line, writer=-1)
+
+    # -- fault-injected Fetch-and-Add path ---------------------------------------
+
+    def _faa_apply(self, time: int, addr: int, addend, ftxn: int):
+        """Apply one Fetch-and-Add *exactly once* under retries.
+
+        A retry of a transaction whose add already landed (only the
+        reply was lost) is answered from the replay buffer — the memory
+        module remembers the old value by transaction id instead of
+        re-applying the add."""
+        replay = self._faa_replay
+        if ftxn in replay:
+            self.stats.faa_replays += 1
+            if self.tracer is not None:
+                self.tracer.faa_replay(time, addr, ftxn)
+            return replay[ftxn]
+        old = self.shared[addr]
+        self.shared[addr] = old + addend
+        if self.tracer is not None:
+            self.tracer.faa_combine(time, addr, old, addend)
+        if self.directory is not None:
+            line = addr // self.config.cache.line_words
+            self._invalidate_sharers(time, line, writer=-1)
+        return old
+
+    def _faulty_faa_event(self, time: int, arg) -> None:
+        addr, thread, dest, addend, ready, txn, ftxn, attempt, sync = arg
+        old = self._faa_apply(time, addr, addend, ftxn)
+        lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
+        if lost:
+            # The add is already applied; remember the old value so the
+            # retry replays the reply instead of adding again.
+            self._faa_replay[ftxn] = old
+            self.stats.replies_dropped += 1
+            self.schedule(
+                ready,
+                self._faa_nack_event,
+                (addr, thread, dest, addend, txn, ftxn, attempt, sync),
+                priority=1,
+            )
+            return
+        self._faa_replay.pop(ftxn, None)
+        if delay:
+            self.stats.replies_delayed += 1
+            ready += delay
+            self._mark_inflight(thread, dest, 1, ready)
+            self.schedule(
+                ready, self._late_deliver_event, ((old,), thread, dest, ready, txn),
+                priority=1,
+            )
+            return
+        self.stats.mem_completed += 1
+        thread.deliver(dest, old, ready)
+        if self.tracer is not None:
+            self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
+
+    def _faa_nack_event(self, time: int, arg) -> None:
+        addr, thread, dest, addend, txn, ftxn, attempt, sync = arg
+        pid = self._pid_of(thread.tid)
+        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt)
+        reissue = time + backoff
+        self.stats.count_message(MsgKind.FAA, sync)
+        self.stats.retries += 1
+        ready = reissue + self._round_trip(reissue, addr)
+        if self.tracer is not None:
+            self.tracer.mem_retry(reissue, pid, thread.tid, txn, attempt)
+            txn = self.tracer.mem_issue(
+                reissue, pid, thread.tid, MsgKind.FAA.name, addr, ready - reissue
+            )
+        self._mark_inflight(thread, dest, 1, ready)
+        self.schedule(
+            reissue + self.half_latency,
+            self._faulty_faa_event,
+            (addr, thread, dest, addend, ready, txn, ftxn, attempt + 1, sync),
+        )
 
     # -- cached shared-memory transactions ---------------------------------------
 
@@ -410,21 +635,30 @@ class Simulator:
                 continue
             if proc.cache.contains(line * line_words):
                 continue
-            fill_ready = time + self.latency + self._jitter(time, line)
+            fill_ready = time + self._round_trip(time, line)
             proc.mshr[line] = fill_ready
             issued += 1
             self.stats.count_message(MsgKind.LINE_READ, sync)
+            self.stats.mem_issued += 1
             txn = 0
             if self.tracer is not None:
                 txn = self.tracer.mem_issue(
                     time, pid, thread.tid, MsgKind.LINE_READ.name,
                     line * line_words, fill_ready - time,
                 )
-            self.schedule(
-                time + self.half_latency,
-                self._line_read_event,
-                (line, pid, fill_ready, txn),
-            )
+            if self._fault_plan is None:
+                self.schedule(
+                    time + self.half_latency,
+                    self._line_read_event,
+                    (line, pid, fill_ready, txn),
+                )
+            else:
+                self._txn_seq += 1
+                self.schedule(
+                    time + self.half_latency,
+                    self._faulty_line_read_event,
+                    (line, pid, fill_ready, txn, self._txn_seq, 1, sync),
+                )
             ready = max(ready, fill_ready)
         if ready <= time:  # resident after all (race with a fill): serve now
             ready = time
@@ -447,10 +681,64 @@ class Simulator:
         self.directory.add_sharer(line, pid)
         self.schedule(fill_ready, self._line_fill_event, (line, data, pid, txn))
 
+    def _faulty_line_read_event(self, time: int, arg) -> None:
+        """Line-fill request arrival at memory under a fault plan."""
+        line, pid, fill_ready, txn, ftxn, attempt, sync = arg
+        lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
+        if lost:
+            self.stats.replies_dropped += 1
+            self.schedule(
+                fill_ready,
+                self._fill_nack_event,
+                (line, pid, txn, ftxn, attempt, sync),
+                priority=1,
+            )
+            return
+        if delay:
+            self.stats.replies_delayed += 1
+            fill_ready += delay
+            proc = self.processors[pid]
+            if line in proc.mshr:
+                proc.mshr[line] = fill_ready
+        # Memory-side read + directory registration, as on the fault-free
+        # path (the snapshot is taken at request arrival either way).
+        line_words = self.config.cache.line_words
+        base = line * line_words
+        data = list(self.shared[base : base + line_words])
+        self.directory.add_sharer(line, pid)
+        self.schedule(fill_ready, self._line_fill_event, (line, data, pid, txn))
+
+    def _fill_nack_event(self, time: int, arg) -> None:
+        """The requesting processor detects a lost fill and retries it."""
+        line, pid, txn, ftxn, attempt, sync = arg
+        proc = self.processors[pid]
+        backoff = proc.nack(time, -1, txn, ftxn, attempt)
+        reissue = time + backoff
+        self.stats.count_message(MsgKind.LINE_READ, sync)
+        self.stats.retries += 1
+        fill_ready = reissue + self._round_trip(reissue, line)
+        if self.tracer is not None:
+            self.tracer.mem_retry(reissue, pid, -1, txn, attempt)
+            txn = self.tracer.mem_issue(
+                reissue, pid, -1, MsgKind.LINE_READ.name,
+                line * self.config.cache.line_words, fill_ready - reissue,
+            )
+        # The MSHR entry outlives the lost fill (cached_load only issues
+        # when no entry exists), so restamp it; waiting loads' delivery
+        # events re-check it and push themselves out (_cached_deliver_event).
+        if line in proc.mshr:
+            proc.mshr[line] = fill_ready
+        self.schedule(
+            reissue + self.half_latency,
+            self._faulty_line_read_event,
+            (line, pid, fill_ready, txn, ftxn, attempt + 1, sync),
+        )
+
     def _line_fill_event(self, time: int, arg) -> None:
         line, data, pid, txn = arg
         proc = self.processors[pid]
         proc.mshr.pop(line, None)
+        self.stats.mem_completed += 1
         if self.tracer is not None:
             self.tracer.mem_complete(time, pid, -1, txn)
         if pid not in self.directory.sharers_of(line):
@@ -467,6 +755,28 @@ class Simulator:
 
     def _cached_deliver_event(self, time: int, arg) -> None:
         addr, nwords, thread, dest, pid, ready = arg
+        if self._fault_plan is not None:
+            # A fill this load was waiting on may have been lost or
+            # delayed after this delivery was scheduled; its MSHR entry
+            # then carries a later arrival.  Chase it: restamp the
+            # scoreboard and re-run delivery at the new time (repeats
+            # until the fill actually lands).
+            mshr = self.processors[pid].mshr
+            line_words = self.config.cache.line_words
+            pending = 0
+            for offset in range(nwords):
+                entry = mshr.get((addr + offset) // line_words)
+                if entry is not None and entry > pending:
+                    pending = entry
+            if pending > ready:
+                self._mark_inflight(thread, dest, nwords, pending)
+                self.schedule(
+                    pending,
+                    self._cached_deliver_event,
+                    (addr, nwords, thread, dest, pid, pending),
+                    priority=1,
+                )
+                return
         cache = self.processors[pid].cache
         for offset in range(nwords):
             value = cache.lookup(addr + offset)

@@ -60,6 +60,23 @@ class SimStats:
         self.oracle_hits = 0
         self.oracle_misses = 0
 
+        # Fault-injection / NACK-retry protocol counters (all zero on a
+        # fault-free run — the zero-perturbation golden test relies on it).
+        #: Value-returning transactions issued (first attempts only;
+        #: retries re-count network traffic but not issues).
+        self.mem_issued = 0
+        #: Value-returning transactions whose reply was finally delivered.
+        #: Conservation law (repro.check): ``mem_issued == mem_completed``.
+        self.mem_completed = 0
+        self.replies_dropped = 0
+        self.replies_delayed = 0
+        self.nacks = 0
+        self.retries = 0
+        self.backoff_cycles = 0
+        #: Fetch-and-Add retries answered from the idempotent-replay
+        #: buffer (the add was *not* applied twice).
+        self.faa_replays = 0
+
         self.wall_cycles = 0
         self.halted_threads = 0
 
@@ -191,6 +208,14 @@ class SimStats:
             "cache_merged": self.cache_merged,
             "oracle_hits": self.oracle_hits,
             "oracle_misses": self.oracle_misses,
+            "mem_issued": self.mem_issued,
+            "mem_completed": self.mem_completed,
+            "replies_dropped": self.replies_dropped,
+            "replies_delayed": self.replies_delayed,
+            "nacks": self.nacks,
+            "retries": self.retries,
+            "backoff_cycles": self.backoff_cycles,
+            "faa_replays": self.faa_replays,
             "wall_cycles": self.wall_cycles,
             "halted_threads": self.halted_threads,
         }
@@ -210,6 +235,11 @@ class SimStats:
             "oracle_hits", "oracle_misses", "wall_cycles", "halted_threads",
         ):
             setattr(stats, field, data[field])
+        for field in (
+            "mem_issued", "mem_completed", "replies_dropped", "replies_delayed",
+            "nacks", "retries", "backoff_cycles", "faa_replays",
+        ):  # absent in pre-fault-injection payloads
+            setattr(stats, field, data.get(field, 0))
         stats.per_proc_busy = list(data["per_proc_busy"])
         stats.per_proc_idle = list(data["per_proc_idle"])
         stats.run_lengths = Counter(
@@ -238,6 +268,12 @@ class SimStats:
         registry.counter("cache.merge").inc(self.cache_merged)
         for kind, count in sorted(self.msg_counts.items(), key=lambda kv: kv[0].name):
             registry.counter(f"mem.issue.{kind.name}").inc(count)
+        if self.nacks or self.retries or self.replies_delayed or self.faa_replays:
+            registry.counter("mem.nack").inc(self.nacks)
+            registry.counter("mem.retry").inc(self.retries)
+            registry.counter("mem.reply.delayed").inc(self.replies_delayed)
+            registry.counter("mem.backoff.cycles").inc(self.backoff_cycles)
+            registry.counter("faa.replay").inc(self.faa_replays)
         run_length = registry.histogram("run.length")
         for length, count in sorted(self.run_lengths.items()):
             for _ in range(count):

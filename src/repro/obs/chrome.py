@@ -41,6 +41,9 @@ _INSTANT_NAMES = {
     EventKind.INVALIDATE: "invalidate",
     EventKind.FAA_COMBINE: "faa-combine",
     EventKind.THREAD_HALT: "halt",
+    EventKind.MEM_NACK: "mem-nack",
+    EventKind.MEM_RETRY: "mem-retry",
+    EventKind.FAA_REPLAY: "faa-replay",
 }
 
 

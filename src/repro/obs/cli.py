@@ -21,6 +21,7 @@ import argparse
 import sys
 
 from repro.engine.spec import DEFAULT_LATENCY
+from repro.faults.cliargs import add_fault_arguments, fault_config_from_args
 from repro.machine.models import SwitchModel
 from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.events import write_events_jsonl
@@ -35,10 +36,12 @@ def _cmd_run(args) -> int:
 
     try:
         model = SwitchModel.parse(args.model)
+        faults = fault_config_from_args(args, args.latency)
     except ValueError as error:
         print(f"repro-trace: {error}", file=sys.stderr)
         return 2
     tracer = RingTracer(capacity=args.capacity)
+    extra = {"faults": faults} if faults is not None else {}
     result = simulate(
         args.app,
         model=model,
@@ -47,7 +50,13 @@ def _cmd_run(args) -> int:
         scale=args.scale,
         latency=args.latency,
         tracer=tracer,
+        **extra,
     )
+    if args.check:
+        from repro.check import check_result
+
+        check_result(result, label=f"{args.app}/{model.value}")
+        print("[trace] invariant check passed", file=sys.stderr)
     events = tracer.events()
     document = chrome_trace(events, tracer.dropped)
     validate_chrome_trace(document)
@@ -118,6 +127,7 @@ def main(argv=None) -> int:
     run.add_argument(
         "--metrics", action="store_true", help="print the derived metrics report"
     )
+    add_fault_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     report = commands.add_parser("report", help="summarize an engine run log")

@@ -31,6 +31,12 @@ CACHE_EVICT        ``(line,)`` — capacity eviction installing a new line
 FAA_COMBINE        ``(addr, old, addend)`` — Fetch-and-Add applied at memory
 INVALIDATE         ``(line,)`` — directory invalidated *pid*'s copy of *line*
 THREAD_HALT        ``()`` — thread *tid* executed HALT
+MEM_NACK           ``(txn, attempt, backoff)`` — transaction *txn*'s reply was
+                   lost; the processor backs off *backoff* cycles before retry
+MEM_RETRY          ``(txn, attempt)`` — retry attempt *attempt* of transaction
+                   *txn* reissued (followed by a fresh MEM_ISSUE)
+FAA_REPLAY         ``(addr, txn)`` — a retried Fetch-and-Add was answered from
+                   the idempotent-replay buffer (not re-applied)
 =================  ============================================================
 """
 
@@ -58,6 +64,9 @@ class EventKind(enum.IntEnum):
     FAA_COMBINE = 11
     INVALIDATE = 12
     THREAD_HALT = 13
+    MEM_NACK = 14
+    MEM_RETRY = 15
+    FAA_REPLAY = 16
 
 
 #: Field names of each kind's ``data`` tuple (drives the JSONL export).
@@ -76,6 +85,9 @@ DATA_FIELDS = {
     EventKind.FAA_COMBINE: ("addr", "old", "addend"),
     EventKind.INVALIDATE: ("line",),
     EventKind.THREAD_HALT: (),
+    EventKind.MEM_NACK: ("txn", "attempt", "backoff"),
+    EventKind.MEM_RETRY: ("txn", "attempt"),
+    EventKind.FAA_REPLAY: ("addr", "txn"),
 }
 
 

@@ -185,6 +185,9 @@ _EVENT_COUNTERS = {
     EventKind.INVALIDATE: "invalidate",
     EventKind.FAA_COMBINE: "faa.combine",
     EventKind.THREAD_HALT: "thread.halt",
+    EventKind.MEM_NACK: "mem.nack",
+    EventKind.MEM_RETRY: "mem.retry",
+    EventKind.FAA_REPLAY: "faa.replay",
 }
 
 

@@ -96,6 +96,21 @@ class Tracer:
     def faa_combine(self, time: int, addr: int, old, addend) -> None:
         """A Fetch-and-Add was applied atomically at the memory module."""
 
+    # -- fault-injection probes (see repro.faults) -----------------------------
+
+    def mem_nack(
+        self, time: int, pid: int, tid: int, txn: int, attempt: int, backoff: int
+    ) -> None:
+        """Transaction *txn*'s reply was lost; retry after *backoff* cycles."""
+
+    def mem_retry(self, time: int, pid: int, tid: int, txn: int, attempt: int) -> None:
+        """Retry *attempt* of transaction *txn* reissued (a fresh
+        ``mem_issue`` with a new id follows immediately)."""
+
+    def faa_replay(self, time: int, addr: int, txn: int) -> None:
+        """A retried Fetch-and-Add was answered from the replay buffer
+        instead of being applied a second time."""
+
 
 class NullTracer(Tracer):
     """A tracer that is switched off: the machine treats it as absent."""
@@ -206,4 +221,19 @@ class RingTracer(Tracer):
             TraceEvent(
                 time, EventKind.FAA_COMBINE, MEMORY_SIDE, -1, (addr, old, addend)
             )
+        )
+
+    def mem_nack(self, time, pid, tid, txn, attempt, backoff):
+        self.buffer.append(
+            TraceEvent(time, EventKind.MEM_NACK, pid, tid, (txn, attempt, backoff))
+        )
+
+    def mem_retry(self, time, pid, tid, txn, attempt):
+        self.buffer.append(
+            TraceEvent(time, EventKind.MEM_RETRY, pid, tid, (txn, attempt))
+        )
+
+    def faa_replay(self, time, addr, txn):
+        self.buffer.append(
+            TraceEvent(time, EventKind.FAA_REPLAY, MEMORY_SIDE, -1, (addr, txn))
         )

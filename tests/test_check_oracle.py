@@ -1,0 +1,108 @@
+"""The repro.check oracle: invariants, golden replay, zero-fault equivalence."""
+
+import pytest
+
+from repro.check import (
+    CheckFailure,
+    canonical_stats,
+    check_result,
+    replay_check,
+    result_problems,
+    zero_fault_equivalence,
+)
+from repro.engine import RunSpec
+from repro.faults import FaultConfig
+from repro.harness import ExperimentContext
+from repro.machine import SwitchModel
+from conftest import run_asm, NONIDEAL_MODELS
+
+_FAULTY = FaultConfig(
+    latency_model="uniform", jitter=100, loss_rate=0.02, seed=1
+)
+
+
+def test_oracle_passes_on_full_matrix_under_faults():
+    """Every app x non-ideal model completes via retries under jittered
+    latency + 2% reply loss, and every invariant holds (the tentpole's
+    acceptance matrix)."""
+    total_retries = 0
+    with ExperimentContext(
+        scale="tiny", processors=2, faults=_FAULTY, check=True
+    ) as ctx:
+        for app in ctx.app_names():
+            for model in NONIDEAL_MODELS:
+                result = ctx.run(app, model, 2, 2)  # check=True raises on problems
+                total_retries += result.stats.retries
+    assert total_retries > 0  # the loss rate actually exercised the protocol
+
+
+def test_clean_result_has_no_problems():
+    result = run_asm("halt\n")
+    assert result_problems(result) == []
+    assert check_result(result) is result
+
+
+def test_tampered_conservation_is_caught():
+    result = run_asm(
+        "lws r1, 0(r0)\nhalt\n", model=SwitchModel.SWITCH_ON_LOAD, latency=200
+    )
+    result.stats.mem_completed -= 1
+    with pytest.raises(CheckFailure, match="conservation"):
+        check_result(result, label="tampered")
+
+
+def test_fault_counters_must_stay_zero_without_faults():
+    result = run_asm("halt\n")
+    result.stats.retries = 3
+    problems = result_problems(result)
+    assert any("faults off" in p for p in problems)
+    # retries also no longer match nacks.
+    assert any("retry" in p for p in problems)
+
+
+def test_unhalted_thread_is_caught():
+    result = run_asm("halt\n")
+    result.threads[0].halted = False
+    with pytest.raises(CheckFailure, match="never halted"):
+        check_result(result)
+
+
+def test_check_failure_message_carries_label():
+    result = run_asm("halt\n")
+    result.stats.halted_threads = 0
+    with pytest.raises(CheckFailure, match="my-run:"):
+        check_result(result, label="my-run")
+
+
+# -- golden replay (satellite: byte-identical across workers and cache) -------------
+
+
+def _faulty_spec():
+    return RunSpec(
+        app="sieve",
+        model="switch-on-load",
+        processors=2,
+        level=2,
+        scale="tiny",
+        overrides=(("faults", _FAULTY),),
+    )
+
+
+def test_replay_is_byte_identical_across_workers_and_cache(tmp_path):
+    canonical = replay_check(
+        _faulty_spec(), workers=(1, 2), cache_dir=str(tmp_path)
+    )
+    assert '"retries"' in canonical
+    # The cache-warm pass really came from disk.
+    assert any((tmp_path / "quarantine").parent.rglob("*.json"))
+
+
+def test_canonical_stats_is_stable():
+    result_a = run_asm("halt\n")
+    result_b = run_asm("halt\n")
+    assert canonical_stats(result_a.stats) == canonical_stats(result_b.stats)
+
+
+def test_zero_fault_equivalence_strips_and_compares():
+    result = zero_fault_equivalence(_faulty_spec())
+    assert result.wall_cycles > 0

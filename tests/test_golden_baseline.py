@@ -1,0 +1,70 @@
+"""Zero-perturbation guard: fault-free runs match the pre-fault golden.
+
+``tests/data/golden_stats.json`` pins the wall cycles and full SimStats
+of every application x switch-model pair (P=2, M=2, tiny scale) as they
+were *before* the fault-injection subsystem existed.  With no
+``FaultConfig`` attached, today's simulator must reproduce every entry
+bit for bit — the fault machinery is allowed to add counters, never to
+move a number.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.registry import app_names
+from repro.check import check_result
+from repro.engine import Engine, RunSpec
+from repro.machine import SwitchModel
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_stats.json").read_text()
+)
+
+#: Counters introduced with the fault subsystem — absent from the golden
+#: fixture and required to stay zero on fault-free runs.
+_FAULT_COUNTERS = (
+    "replies_dropped",
+    "replies_delayed",
+    "nacks",
+    "retries",
+    "backoff_cycles",
+    "faa_replays",
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with Engine(workers=1) as engine:
+        yield engine
+
+
+def test_fixture_covers_every_app_and_model():
+    expected = {
+        f"{app}/{model.value}" for app in app_names() for model in SwitchModel
+    }
+    assert expected == set(GOLDEN)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_fault_free_run_matches_golden(engine, key):
+    app, model = key.split("/")
+    entry = GOLDEN[key]
+    result = engine.run(
+        RunSpec(app=app, model=model, processors=2, level=2, scale="tiny")
+    )
+    assert result.wall_cycles == entry["wall_cycles"], key
+    stats = result.stats.to_dict()
+    # The fixture predates the fault counters, so compare its keys (the
+    # shared subset must be identical) and pin the new ones to zero.
+    mismatched = {
+        name: (stats.get(name), value)
+        for name, value in entry["stats"].items()
+        if stats.get(name) != value
+    }
+    assert not mismatched, f"{key}: golden drift in {mismatched}"
+    for name in _FAULT_COUNTERS:
+        assert stats[name] == 0, f"{key}: {name} fired without faults"
+    assert stats["mem_issued"] == stats["mem_completed"]
+    check_result(result, label=key)

@@ -67,6 +67,9 @@ def test_event_record_roundtrip_all_kinds():
         EventKind.FAA_COMBINE: (8, 5, 1),
         EventKind.INVALIDATE: (3,),
         EventKind.THREAD_HALT: (),
+        EventKind.MEM_NACK: (7, 1, 8),
+        EventKind.MEM_RETRY: (7, 1),
+        EventKind.FAA_REPLAY: (8, 7),
     }
     assert set(samples) == set(EventKind) == set(DATA_FIELDS)
     for kind, data in samples.items():
