@@ -27,6 +27,7 @@ from repro.machine import (
     SwitchModel,
 )
 from repro.obs import MetricsRegistry, RingTracer, Tracer, write_chrome_trace
+from repro import serve
 
 __version__ = "1.0.0"
 
@@ -52,5 +53,6 @@ __all__ = [
     "RingTracer",
     "MetricsRegistry",
     "write_chrome_trace",
+    "serve",
     "__version__",
 ]

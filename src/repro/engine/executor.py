@@ -160,7 +160,13 @@ class Engine:
         self._failures: Dict[str, Dict] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_broken = False
-        self._counts = {"executed": 0, "cached": 0, "memo_hits": 0, "failed": 0}
+        self._counts = {
+            "executed": 0,
+            "cached": 0,
+            "memo_hits": 0,
+            "failed": 0,
+            "deduped": 0,
+        }
         self._simulated_cycles = 0
         self._wall_time = 0.0
         self._started = time.perf_counter()
@@ -231,6 +237,7 @@ class Engine:
             "cached": self._counts["cached"],
             "memo_hits": self._counts["memo_hits"],
             "failed": self._counts["failed"],
+            "deduped": self._counts["deduped"],
             "completed": completed,
             "cache_fraction": (
                 self._counts["cached"] / completed if completed else 0.0
@@ -341,6 +348,12 @@ class Engine:
             self.cache.put(key, payload)
 
     # -- execution -------------------------------------------------------------
+
+    def failure(self, key: str) -> Optional[Dict]:
+        """The recorded error payload (``{"type", "message"}``) for a
+        spec key, or ``None`` — how callers using ``on_error="record"``
+        (and the serve layer) recover *why* a slot came back ``None``."""
+        return self._failures.get(key)
 
     def run(self, spec: RunSpec) -> SimulationResult:
         """Execute (or recall) one spec; raises on failure."""
@@ -514,6 +527,8 @@ class Engine:
         self,
         specs: Sequence[RunSpec],
         on_error: str = "raise",
+        progress: Union[ProgressFn, None, bool] = False,
+        timeout: Union[float, None, bool] = False,
     ) -> List[Optional[SimulationResult]]:
         """Execute a sweep; results come back in input order.
 
@@ -521,13 +536,34 @@ class Engine:
         sweep has been collected); ``on_error="record"`` leaves ``None``
         in the failed slots — callers that *expect* timeouts (the
         forced-interval ablation) use this and re-raise per spec later.
+
+        *progress* and *timeout* override the engine-level settings for
+        this call only (``False``, the default, means "inherit"; ``None``
+        disables) — the hook long-lived callers (the serve scheduler)
+        use to give each batch its own deadline and progress sink.
         """
         if on_error not in ("raise", "record"):
             raise ValueError("on_error must be 'raise' or 'record'")
+        saved = (self.progress, self.timeout)
+        if progress is not False:
+            self.progress = progress
+        if timeout is not False:
+            self.timeout = timeout
+        try:
+            return self._run_many(specs, on_error)
+        finally:
+            self.progress, self.timeout = saved
+
+    def _run_many(
+        self, specs: Sequence[RunSpec], on_error: str
+    ) -> List[Optional[SimulationResult]]:
         keys = [spec.key() for spec in specs]
         total = len(specs)
 
-        # Resolve memo + disk hits first, and dedupe what remains.
+        # Resolve memo + disk hits first, and dedupe what remains: a
+        # batch containing N copies of one spec submits it to the pool
+        # (and writes the cache) exactly once; the other N-1 slots are
+        # fanned out from the memo at collection time below.
         pending: List[Tuple[int, RunSpec, str]] = []
         claimed = set()
         for index, (spec, key) in enumerate(zip(specs, keys)):
@@ -541,6 +577,8 @@ class Engine:
             if key not in claimed:
                 claimed.add(key)
                 pending.append((index, spec, key))
+            else:
+                self._counts["deduped"] += 1
 
         if len(pending) > 1 and self._ensure_pool() is not None:
             self._run_pooled(pending, total)

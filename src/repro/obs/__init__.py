@@ -45,6 +45,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     metrics_from_events,
+    prometheus_name,
 )
 from repro.obs.runlog import (
     RunLogWriter,
@@ -73,6 +74,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metrics_from_events",
+    "prometheus_name",
     "RunLogWriter",
     "read_runlog",
     "summarize_runlog",

@@ -20,9 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.engine.spec import DEFAULT_LATENCY
-from repro.faults.cliargs import add_fault_arguments, fault_config_from_args
-from repro.machine.models import SwitchModel
+from repro.harness.cliargs import add_spec_arguments, spec_from_args
 from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.events import write_events_jsonl
 from repro.obs.metrics import metrics_from_events
@@ -35,34 +33,32 @@ def _cmd_run(args) -> int:
     from repro.tools.timeline import render_timeline
 
     try:
-        model = SwitchModel.parse(args.model)
-        faults = fault_config_from_args(args, args.latency)
+        spec = spec_from_args(args)
     except ValueError as error:
         print(f"repro-trace: {error}", file=sys.stderr)
         return 2
     tracer = RingTracer(capacity=args.capacity)
-    extra = {"faults": faults} if faults is not None else {}
     result = simulate(
-        args.app,
-        model=model,
-        processors=args.processors,
-        level=args.level,
-        scale=args.scale,
-        latency=args.latency,
+        spec.app,
+        model=spec.switch_model,
+        processors=spec.processors,
+        level=spec.level,
+        scale=spec.scale,
+        latency=spec.effective_latency,
         tracer=tracer,
-        **extra,
+        **dict(spec.overrides),
     )
     if args.check:
         from repro.check import check_result
 
-        check_result(result, label=f"{args.app}/{model.value}")
+        check_result(result, label=f"{spec.app}/{spec.model}")
         print("[trace] invariant check passed", file=sys.stderr)
     events = tracer.events()
     document = chrome_trace(events, tracer.dropped)
     validate_chrome_trace(document)
     write_chrome_trace(args.out, events, tracer.dropped)
     print(
-        f"[trace] {args.app}/{model.value}: {result.wall_cycles:,} cycles, "
+        f"[trace] {spec.app}/{spec.model}: {result.wall_cycles:,} cycles, "
         f"{tracer.total_events:,} events ({tracer.dropped:,} dropped) "
         f"-> {args.out}",
         file=sys.stderr,
@@ -95,20 +91,7 @@ def main(argv=None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="simulate one config with tracing on")
-    run.add_argument("app", help="registered application name (e.g. sieve)")
-    run.add_argument(
-        "--model",
-        default=SwitchModel.SWITCH_ON_LOAD.value,
-        help="switch model (canonical name or paper alias, e.g. eswitch)",
-    )
-    run.add_argument("--processors", type=int, default=2)
-    run.add_argument("--level", type=int, default=4, help="threads per processor")
-    run.add_argument(
-        "--scale", default="tiny", choices=("tiny", "small", "medium", "bench")
-    )
-    run.add_argument(
-        "--latency", type=int, default=DEFAULT_LATENCY, help="round-trip cycles"
-    )
+    add_spec_arguments(run)
     run.add_argument(
         "--out", default="trace.json", metavar="PATH", help="Chrome trace output"
     )
@@ -127,7 +110,6 @@ def main(argv=None) -> int:
     run.add_argument(
         "--metrics", action="store_true", help="print the derived metrics report"
     )
-    add_fault_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     report = commands.add_parser("report", help="summarize an engine run log")

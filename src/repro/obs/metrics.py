@@ -28,11 +28,12 @@ from repro.obs.events import EventKind, TraceEvent
 class Counter:
     """A monotonically increasing named count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "help")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, help: Optional[str] = None):
         self.name = name
         self.value = 0
+        self.help = help
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
@@ -53,15 +54,16 @@ class Histogram:
     (upper bucket bound — a conservative estimate).
     """
 
-    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+    __slots__ = ("name", "buckets", "count", "total", "min", "max", "help")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, help: Optional[str] = None):
         self.name = name
         self.buckets: Dict[int, int] = {}
         self.count = 0
         self.total = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.help = help
 
     def observe(self, value) -> None:
         if value < 0:
@@ -113,18 +115,18 @@ class MetricsRegistry:
     def __init__(self):
         self._instruments: Dict[str, object] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, help: Optional[str] = None) -> Counter:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = self._instruments[name] = Counter(name)
+            instrument = self._instruments[name] = Counter(name, help)
         elif not isinstance(instrument, Counter):
             raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, help: Optional[str] = None) -> Histogram:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = self._instruments[name] = Histogram(name)
+            instrument = self._instruments[name] = Histogram(name, help)
         elif not isinstance(instrument, Histogram):
             raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
         return instrument
@@ -170,6 +172,78 @@ class MetricsRegistry:
                     f"{(hist.max if hist.max is not None else 0):>10,.0f}"
                 )
         return "\n".join(lines) if lines else "(no metrics)"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Counters render as ``<name>_total``; histograms render as native
+        Prometheus histograms with cumulative power-of-two ``le`` buckets
+        plus ``_sum``/``_count``.  Instrument names are sanitized to the
+        Prometheus grammar (``.`` and other invalid characters become
+        ``_``), ``# HELP`` lines are emitted for instruments created with
+        help text, and output order follows the registry's sorted
+        iteration — stable across runs, so scrapes diff cleanly.
+        """
+        lines: List[str] = []
+        for _name, instrument in self:
+            if isinstance(instrument, Counter):
+                name = prometheus_name(instrument.name)
+                if not name.endswith("_total"):
+                    name += "_total"
+                if instrument.help:
+                    lines.append(f"# HELP {name} {escape_help(instrument.help)}")
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            else:
+                name = prometheus_name(instrument.name)
+                if instrument.help:
+                    lines.append(f"# HELP {name} {escape_help(instrument.help)}")
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for bucket in sorted(instrument.buckets):
+                    cumulative += instrument.buckets[bucket]
+                    bound = escape_label_value(str(2 ** bucket))
+                    lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+                lines.append(f"{name}_sum {_format_value(instrument.total)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def prometheus_name(name: str) -> str:
+    """*name* mapped onto the Prometheus metric-name grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``): invalid characters become ``_`` and
+    a leading digit gains a ``_`` prefix."""
+    sanitized = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+        for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (backslash and newline, per the
+    exposition-format spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    """Render a sample value: integers stay integral, floats use repr
+    (shortest round-trippable form)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 #: (event kind -> counter name) for the simple tallies.

@@ -1,0 +1,53 @@
+"""``repro.serve`` — simulation-as-a-service.
+
+A long-lived, stdlib-only serving layer over the experiment engine: a
+bounded job queue with admission control and backpressure, singleflight
+request coalescing on the engine's content-addressed cache keys, an HTTP
+JSON API with live telemetry (``/healthz``, Prometheus ``/metrics``),
+graceful drain and a crash-safe job journal.
+
+Server side::
+
+    repro-serve serve --port 8023 --workers 4        # or python -m repro.serve
+
+Client side::
+
+    from repro.serve import Client
+
+    client = Client("http://127.0.0.1:8023")
+    job = client.submit({"app": "sieve", "model": "eswitch", "level": 4})
+    stats = client.result(job)[0]["stats"]
+
+Embedded (tests, notebooks)::
+
+    from repro.serve import ReproServer, ServerConfig
+
+    with ReproServer(ServerConfig(port=0, quiet=True)) as server:
+        Client(server.url).health()
+"""
+
+from repro.serve.client import Client, JobRejected, ServeError
+from repro.serve.jobs import Job, JobJournal, JobState, job_id_for
+from repro.serve.scheduler import AdmissionError, JobScheduler
+from repro.serve.server import (
+    ReproServer,
+    ServerConfig,
+    serve,
+    specs_from_payload,
+)
+
+__all__ = [
+    "Client",
+    "ServeError",
+    "JobRejected",
+    "Job",
+    "JobState",
+    "JobJournal",
+    "job_id_for",
+    "JobScheduler",
+    "AdmissionError",
+    "ReproServer",
+    "ServerConfig",
+    "serve",
+    "specs_from_payload",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.serve`` — same surface as the ``repro-serve``
+console script."""
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Blocking HTTP client for the simulation service (stdlib ``urllib``).
+
+::
+
+    from repro.serve import Client
+
+    client = Client("http://127.0.0.1:8023")
+    job = client.submit({"app": "sieve", "model": "eswitch", "level": 4})
+    payload = client.result(job)           # blocks until the job settles
+    print(payload[0]["wall_cycles"])
+
+``submit`` accepts a :class:`~repro.engine.spec.RunSpec`, a keyword
+dictionary, or a list of either; results come back as the server's
+per-spec :meth:`SimulationResult.to_dict` payloads, byte-identical to a
+direct :func:`repro.api.simulate` of the same specs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.spec import RunSpec
+
+SpecLike = Union[RunSpec, Dict]
+
+
+class ServeError(RuntimeError):
+    """A non-success response from the server; carries the HTTP status
+    and decoded body (``payload``)."""
+
+    def __init__(self, status: int, payload):
+        message = (
+            payload.get("error", str(payload))
+            if isinstance(payload, dict)
+            else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class JobRejected(ServeError):
+    """Admission control refused the submission (429/503);
+    ``retry_after`` carries the server's backoff hint in seconds."""
+
+    def __init__(self, status: int, payload):
+        super().__init__(status, payload)
+        self.retry_after = (
+            payload.get("retry_after", 1) if isinstance(payload, dict) else 1
+        )
+
+
+def _encode_spec(spec: SpecLike) -> Dict:
+    if isinstance(spec, RunSpec):
+        return spec.to_dict()
+    if isinstance(spec, dict):
+        return spec
+    raise TypeError(f"expected RunSpec or dict, got {type(spec).__name__}")
+
+
+class Client:
+    """Thin blocking wrapper over the ``/v1`` HTTP API.
+
+    :param base_url: server address, e.g. ``http://127.0.0.1:8023``.
+    :param timeout: socket timeout per request in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, str], object]:
+        data = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                status = reply.status
+                headers = dict(reply.headers.items())
+                raw = reply.read()
+        except urllib.error.HTTPError as error:
+            status = error.code
+            headers = dict(error.headers.items())
+            raw = error.read()
+        content_type = headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        else:
+            payload = raw.decode("utf-8")
+        return status, headers, payload
+
+    def _get_json(self, path: str) -> Dict:
+        status, _headers, payload = self._request("GET", path)
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- API -------------------------------------------------------------------
+
+    def submit(
+        self,
+        specs: Union[SpecLike, List[SpecLike]],
+        timeout: Union[float, None, str] = "inherit",
+        retries: int = 0,
+    ) -> Dict:
+        """POST a job; returns the acceptance payload (``job``,
+        ``coalesced``, ``status_url``...).
+
+        *retries* > 0 re-submits after a 429/503, sleeping the server's
+        ``Retry-After`` hint between attempts; past the budget the last
+        :class:`JobRejected` propagates.
+        """
+        if isinstance(specs, (RunSpec, dict)):
+            specs = [specs]
+        body: Dict = {"specs": [_encode_spec(spec) for spec in specs]}
+        if timeout != "inherit":
+            body["timeout"] = timeout
+        attempt = 0
+        while True:
+            status, _headers, payload = self._request("POST", "/v1/jobs", body)
+            if status in (429, 503):
+                rejection = JobRejected(status, payload)
+                if attempt >= retries:
+                    raise rejection
+                attempt += 1
+                time.sleep(rejection.retry_after)
+                continue
+            if status >= 400:
+                raise ServeError(status, payload)
+            return payload
+
+    def status(self, job: Union[str, Dict]) -> Dict:
+        """``GET /v1/jobs/<id>`` — the job's status dictionary."""
+        return self._get_json(f"/v1/jobs/{_job_id(job)}")
+
+    def wait(
+        self,
+        job: Union[str, Dict],
+        timeout: Optional[float] = None,
+        poll: float = 0.05,
+    ) -> Dict:
+        """Poll until the job settles; returns its final status (raises
+        ``TimeoutError`` if *timeout* seconds elapse first)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job)
+            if status["state"] in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {_job_id(job)} still {status['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def result(
+        self,
+        job: Union[str, Dict],
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[Dict]:
+        """The job's per-spec result payloads (blocks until settled by
+        default); raises :class:`ServeError` for failed jobs."""
+        if wait:
+            self.wait(job, timeout=timeout)
+        status, _headers, payload = self._request(
+            "GET", f"/v1/jobs/{_job_id(job)}/result"
+        )
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload["results"]
+
+    def health(self) -> Dict:
+        return self._get_json("/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        status, _headers, payload = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    def shutdown(self) -> Dict:
+        """Ask the server to drain and exit."""
+        status, _headers, payload = self._request("POST", "/v1/shutdown")
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+
+def _job_id(job: Union[str, Dict]) -> str:
+    return job["job"] if isinstance(job, dict) else job

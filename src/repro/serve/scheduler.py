@@ -1,0 +1,332 @@
+"""Admission control, singleflight coalescing and engine dispatch.
+
+The scheduler is the paper's latency-hiding discipline applied one level
+up: many outstanding requests, one busy executor.  Clients submit
+:class:`~repro.serve.jobs.Job` batches concurrently; a single worker
+thread drains a bounded FIFO queue onto the
+:class:`~repro.engine.executor.Engine`, which fans each batch out over
+its process pool.  Serializing engine access through one thread is what
+makes the (deliberately unsynchronized) engine safe to share between
+request handlers.
+
+Three mechanisms keep the server healthy under load:
+
+* **admission control** — a bounded queue depth and an in-flight
+  request-byte budget; past either, submission raises
+  :class:`AdmissionError` (the HTTP layer turns it into 429/503 with a
+  ``Retry-After`` hint) instead of queueing unboundedly;
+* **singleflight** — job identity is content-derived, so N concurrent
+  submissions of the same spec batch attach to one job: one engine
+  execution, N result fan-outs (cache-stampede protection, counted in
+  ``serve.jobs.coalesced``);
+* **journal recovery** — every admitted job is journaled; on restart the
+  journal is replayed through the queue, so finished jobs are re-served
+  from the engine's disk cache (zero recomputation) and interrupted jobs
+  complete.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.executor import Engine
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import Job, JobJournal, JobState
+
+#: Counter names registered up front so ``/metrics`` is complete (and
+#: stable) from the first scrape, before any traffic arrives.
+_COUNTERS = {
+    "serve.jobs.submitted": "Jobs admitted to the queue",
+    "serve.jobs.coalesced": "Submissions absorbed into an in-flight or finished job",
+    "serve.jobs.rejected": "Submissions refused by admission control",
+    "serve.jobs.completed": "Jobs finished successfully",
+    "serve.jobs.failed": "Jobs finished with an error",
+    "serve.jobs.recovered": "Jobs re-enqueued from the journal at startup",
+    "serve.specs.resolved": "Individual specs resolved across all jobs",
+}
+
+
+class AdmissionError(RuntimeError):
+    """The scheduler refused a submission (full queue, byte budget, or
+    draining); carries the HTTP status and a ``Retry-After`` hint."""
+
+    def __init__(self, reason: str, status: int, retry_after: int):
+        super().__init__(reason)
+        self.reason = reason
+        self.status = status
+        self.retry_after = retry_after
+
+
+class JobScheduler:
+    """Bounded job queue feeding one :class:`Engine` worker thread.
+
+    :param engine: the (exclusively owned) execution engine.
+    :param max_queue_depth: jobs allowed in QUEUED state before 429.
+    :param max_inflight_bytes: summed request-body bytes of unfinished
+        jobs allowed before 429 (0 disables the budget).
+    :param default_timeout: per-spec engine deadline inherited by jobs
+        that do not set their own.
+    :param journal: a :class:`JobJournal`, a path, or ``None``.
+    :param check: run the :mod:`repro.check` invariant oracle on every
+        successful result; an oracle failure fails the job.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_queue_depth: int = 16,
+        max_inflight_bytes: int = 8 * 1024 * 1024,
+        default_timeout: Optional[float] = None,
+        journal=None,
+        check: bool = False,
+    ):
+        self.engine = engine
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_bytes = max_inflight_bytes
+        self.default_timeout = default_timeout
+        self.check = check
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
+        self.journal = journal
+        self.metrics = MetricsRegistry()
+        for name, help_text in _COUNTERS.items():
+            self.metrics.counter(name, help=help_text)
+        self.jobs: Dict[str, Job] = {}
+        self._queue: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._inflight_bytes = 0
+        self._elapsed: collections.deque = collections.deque(maxlen=16)
+        self.draining = False
+        self._stopped = False
+        self._idle = threading.Event()
+        self._idle.set()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    # -- admission -------------------------------------------------------------
+
+    def _retry_after(self) -> int:
+        """Seconds a rejected client should back off: the queue depth
+        times the recent mean job time (floor 1s)."""
+        mean = (
+            sum(self._elapsed) / len(self._elapsed) if self._elapsed else 1.0
+        )
+        return max(1, round(mean * (len(self._queue) + 1)))
+
+    def submit(
+        self,
+        specs,
+        nbytes: int = 0,
+        timeout="inherit",
+    ) -> Tuple[Job, bool]:
+        """Admit (or coalesce) a batch; returns ``(job, coalesced)``.
+
+        Coalescing is checked *before* admission control: attaching to an
+        existing job creates no new work, so it succeeds even when the
+        queue is full — that is the stampede-protection point.
+        """
+        if timeout == "inherit":
+            timeout = self.default_timeout
+        job = Job(list(specs), nbytes=nbytes, timeout=timeout)
+        with self._wake:
+            existing = self.jobs.get(job.job_id)
+            if existing is not None and existing.state is not JobState.FAILED:
+                existing.clients += 1
+                self.metrics.counter("serve.jobs.coalesced").inc()
+                return existing, True
+            if self._stopped or self.draining:
+                self.metrics.counter("serve.jobs.rejected").inc()
+                raise AdmissionError(
+                    "server is draining", status=503,
+                    retry_after=self._retry_after(),
+                )
+            depth = sum(
+                1 for queued in self._queue
+                if self.jobs[queued].state is JobState.QUEUED
+            )
+            if depth >= self.max_queue_depth:
+                self.metrics.counter("serve.jobs.rejected").inc()
+                raise AdmissionError(
+                    f"queue full ({depth} jobs queued)", status=429,
+                    retry_after=self._retry_after(),
+                )
+            if (
+                self.max_inflight_bytes
+                and nbytes
+                and self._inflight_bytes + nbytes > self.max_inflight_bytes
+            ):
+                self.metrics.counter("serve.jobs.rejected").inc()
+                raise AdmissionError(
+                    "in-flight byte budget exceeded", status=429,
+                    retry_after=self._retry_after(),
+                )
+            self._admit(job)
+        return job, False
+
+    def _admit(self, job: Job) -> None:
+        """Register + enqueue *job*; caller holds the lock."""
+        self.jobs[job.job_id] = job
+        self._queue.append(job.job_id)
+        self._inflight_bytes += job.nbytes
+        self.metrics.counter("serve.jobs.submitted").inc()
+        self._idle.clear()
+        if self.journal is not None:
+            self.journal.record_submit(job)
+        self._wake.notify()
+
+    def recover(self) -> int:
+        """Replay the journal: re-enqueue every job it records (finished
+        ones re-serve from the disk cache; interrupted ones complete).
+        Returns the number of jobs re-enqueued."""
+        if self.journal is None:
+            return 0
+        recovered = 0
+        for record in self.journal.load():
+            with self._wake:
+                job = Job(record["specs"], nbytes=0, timeout=self.default_timeout)
+                if job.job_id in self.jobs:
+                    continue
+                self._admit(job)
+            self.metrics.counter("serve.jobs.recovered").inc()
+            recovered += 1
+        return recovered
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    # -- worker ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._stopped:
+                    if not any(
+                        not job.settled for job in self.jobs.values()
+                    ):
+                        self._idle.set()
+                    self._wake.wait(timeout=0.1)
+                if self._stopped and not self._queue:
+                    self._idle.set()
+                    return
+                job = self.jobs[self._queue.popleft()]
+            self._execute(job)
+            with self._lock:
+                self._inflight_bytes -= job.nbytes
+                self._elapsed.append(
+                    (job.finished or time.time()) - (job.started or job.created)
+                )
+
+    def _execute(self, job: Job) -> None:
+        job.mark_running()
+
+        def on_progress(event: Dict) -> None:
+            job.done += 1
+            job.last_label = event.get("label")
+            self.metrics.counter("serve.specs.resolved").inc()
+
+        try:
+            results = self.engine.run_many(
+                job.specs,
+                on_error="record",
+                progress=on_progress,
+                timeout=job.timeout,
+            )
+            payloads: List[Dict] = []
+            for spec, key, result in zip(job.specs, job.keys, results):
+                if result is None:
+                    error = self.engine.failure(key) or {
+                        "type": "EngineRunError",
+                        "message": f"{spec.label()}: unknown failure",
+                    }
+                    raise _JobFailure(error)
+                if self.check:
+                    from repro.check import check_result
+
+                    check_result(result, label=spec.label())
+                payloads.append(result.to_dict())
+        except _JobFailure as failure:
+            job.mark_failed(failure.error)
+        except Exception as error:  # noqa: BLE001 — worker must survive
+            job.mark_failed(
+                {"type": type(error).__name__, "message": str(error)}
+            )
+        else:
+            job.mark_done(payloads)
+        if job.state is JobState.DONE:
+            self.metrics.counter("serve.jobs.completed").inc()
+        else:
+            self.metrics.counter("serve.jobs.failed").inc()
+        if self.journal is not None:
+            try:
+                self.journal.record_finish(job)
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for every queued/running job to
+        settle; ``True`` when the scheduler went idle in time."""
+        with self._wake:
+            self.draining = True
+            self._wake.notify_all()
+        return self._idle.wait(timeout)
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
+        """Drain (optionally), stop the worker, close journal + engine."""
+        drained = self.drain(timeout) if drain else False
+        with self._wake:
+            self._stopped = True
+            if not drain:
+                self._queue.clear()
+            self._wake.notify_all()
+        self._worker.join(timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
+        self.engine.close()
+        return drained
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: serve counters plus the engine's
+        lifetime counts, one Prometheus document with stable ordering."""
+        report = self.engine.report()
+        for name in ("executed", "cached", "memo_hits", "failed", "deduped"):
+            counter = self.metrics.counter(
+                f"serve.engine.{name}", help=f"Engine lifetime {name} count"
+            )
+            counter.value = report[name]
+        cycles = self.metrics.counter(
+            "serve.engine.simulated_cycles",
+            help="Simulated cycles executed by the engine",
+        )
+        cycles.value = report["simulated_cycles"]
+        return self.metrics.to_prometheus()
+
+    def status_dict(self) -> Dict:
+        """The ``/healthz`` scheduler view."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            return {
+                "status": "draining" if self.draining else "ok",
+                "jobs": states,
+                "queued": len(self._queue),
+                "inflight_bytes": self._inflight_bytes,
+                "queue_depth_limit": self.max_queue_depth,
+            }
+
+
+class _JobFailure(Exception):
+    """Internal: carries a spec's error payload out of the result loop."""
+
+    def __init__(self, error: Dict):
+        super().__init__(error.get("message", "job failed"))
+        self.error = error

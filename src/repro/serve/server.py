@@ -1,0 +1,391 @@
+"""The HTTP face of the simulation service (stdlib ``http.server``).
+
+Endpoints (JSON in, JSON out, ``/metrics`` excepted):
+
+* ``POST /v1/jobs`` — submit one spec (``{"spec": {...}}``) or a sweep
+  (``{"specs": [...]}``); returns 202 with the job id, or 429/503 with a
+  ``Retry-After`` header when admission control refuses.
+* ``GET /v1/jobs/<id>`` — job status (state, progress, coalesced client
+  count), derived from the scheduler + the engine's run-log progress
+  events.
+* ``GET /v1/jobs/<id>/result`` — the per-spec result payloads
+  (:meth:`SimulationResult.to_dict`, byte-identical to a direct
+  :func:`repro.api.simulate`); 202 while pending, 500 for failed jobs.
+* ``GET /healthz`` — liveness + queue/job counts + engine report.
+* ``GET /metrics`` — Prometheus text exposition
+  (:meth:`MetricsRegistry.to_prometheus`).
+* ``POST /v1/shutdown`` — graceful drain then exit (also ``SIGTERM``).
+
+Spec payloads accept either the exact :meth:`RunSpec.to_dict` form (what
+:class:`repro.serve.Client` sends) or curl-friendly keyword form
+(``{"app": "sieve", "model": "eswitch", "level": 4}``), including a
+``faults`` mapping which is lifted into a
+:class:`~repro.faults.config.FaultConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.cache import default_cache_dir
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
+from repro.faults.config import FaultConfig
+from repro.machine.models import SwitchModel
+from repro.serve.jobs import JobState
+from repro.serve.scheduler import AdmissionError, JobScheduler
+
+#: Request bodies past this size are refused outright (413) before any
+#: JSON parsing — admission control for a single oversized request.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Everything ``repro-serve serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    workers: int = 1
+    cache_dir: Union[str, Path, None] = None
+    no_cache: bool = False
+    queue_depth: int = 16
+    byte_budget: int = 8 * 1024 * 1024
+    timeout: Optional[float] = None
+    check: bool = False
+    journal: Union[str, Path, None] = None
+    quiet: bool = False
+
+    def resolved_cache_dir(self) -> Optional[Path]:
+        if self.no_cache:
+            return None
+        return Path(self.cache_dir) if self.cache_dir else default_cache_dir()
+
+    def resolved_journal(self) -> Optional[Path]:
+        if self.journal is not None:
+            return Path(self.journal)
+        cache_dir = self.resolved_cache_dir()
+        return cache_dir / "serve-journal.jsonl" if cache_dir else None
+
+
+def specs_from_payload(payload) -> List[RunSpec]:
+    """Parse a ``POST /v1/jobs`` body into specs (raises ``ValueError``
+    on anything malformed — the handler answers 400)."""
+    if not isinstance(payload, dict):
+        raise ValueError("body must be a JSON object")
+    if "spec" in payload:
+        raw_specs = [payload["spec"]]
+    elif "specs" in payload:
+        raw_specs = payload["specs"]
+    else:
+        raise ValueError('body must carry "spec" or "specs"')
+    if not isinstance(raw_specs, list) or not raw_specs:
+        raise ValueError('"specs" must be a non-empty list')
+    specs = []
+    for raw in raw_specs:
+        if not isinstance(raw, dict):
+            raise ValueError("each spec must be a JSON object")
+        try:
+            specs.append(_decode_spec(raw))
+        except (TypeError, ValueError, KeyError) as error:
+            raise ValueError(f"bad spec {raw!r}: {error}") from None
+    return specs
+
+
+def _decode_spec(raw: Dict) -> RunSpec:
+    if isinstance(raw.get("overrides"), list):
+        return RunSpec.from_dict(raw)  # exact to_dict round-trip form
+    raw = dict(raw)
+    if "model" in raw:  # accept paper aliases (eswitch, sol, ...)
+        raw["model"] = SwitchModel.parse(raw["model"])
+    faults = raw.get("faults")
+    if isinstance(faults, dict):
+        raw["faults"] = FaultConfig(**faults)
+    return RunSpec.create(**raw)
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, app: "ReproServer"):
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def app(self) -> "ReproServer":
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.app.config.quiet:
+            sys.stderr.write(
+                "[serve] %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send(
+        self,
+        status: int,
+        body: Union[Dict, bytes, str],
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if isinstance(body, dict):
+            body = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        elif isinstance(body, str):
+            body = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._send(status, {"error": message, **extra})
+
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # Drain (bounded) so the client sees the 413 rather than a
+            # broken pipe mid-upload, then drop the connection.
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            return self._send(200, self.app.health_dict())
+        if path == "/metrics":
+            return self._send(
+                200,
+                self.app.scheduler.metrics_text(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path.startswith("/v1/jobs/"):
+            parts = path[len("/v1/jobs/"):].split("/")
+            if len(parts) == 1:
+                return self._job_status(parts[0])
+            if len(parts) == 2 and parts[1] == "result":
+                return self._job_result(parts[0])
+        return self._error(404, f"no route for GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/jobs":
+            return self._submit()
+        if path == "/v1/shutdown":
+            self._send(202, {"status": "draining"})
+            threading.Thread(
+                target=self.app.shutdown, name="repro-serve-shutdown",
+                daemon=True,
+            ).start()
+            return None
+        return self._error(404, f"no route for POST {path}")
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            specs = specs_from_payload(payload)
+        except (ValueError, UnicodeDecodeError) as error:
+            return self._error(400, str(error))
+        timeout = payload.get("timeout", "inherit")
+        if timeout is not None and timeout != "inherit":
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                return self._error(400, "timeout must be a number")
+        try:
+            job, coalesced = self.app.scheduler.submit(
+                specs, nbytes=len(body), timeout=timeout
+            )
+        except AdmissionError as refused:
+            return self._send(
+                refused.status,
+                {"error": refused.reason, "retry_after": refused.retry_after},
+                headers={"Retry-After": str(refused.retry_after)},
+            )
+        self._send(
+            202,
+            {
+                "job": job.job_id,
+                "coalesced": coalesced,
+                "specs": job.total,
+                "state": job.state.value,
+                "status_url": f"/v1/jobs/{job.job_id}",
+                "result_url": f"/v1/jobs/{job.job_id}/result",
+            },
+        )
+
+    def _job_status(self, job_id: str) -> None:
+        job = self.app.scheduler.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        self._send(200, job.status_dict())
+
+    def _job_result(self, job_id: str) -> None:
+        job = self.app.scheduler.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        if job.state is JobState.FAILED:
+            return self._send(500, {"job": job.job_id, "error": job.error})
+        if job.state is not JobState.DONE:
+            return self._send(202, job.status_dict())
+        self._send(200, {"job": job.job_id, "results": job.results})
+
+
+class ReproServer:
+    """One bound server: engine + scheduler + HTTP front end.
+
+    Usable embedded (tests call :meth:`start` / :meth:`shutdown`) or via
+    :func:`serve`, which adds signal handling and blocks.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None, **overrides):
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        self.config = config
+        cache_dir = config.resolved_cache_dir()
+        self.engine = Engine(
+            workers=config.workers,
+            cache=str(cache_dir) if cache_dir else None,
+        )
+        self.scheduler = JobScheduler(
+            self.engine,
+            max_queue_depth=config.queue_depth,
+            max_inflight_bytes=config.byte_budget,
+            default_timeout=config.timeout,
+            journal=config.resolved_journal(),
+            check=config.check,
+        )
+        self.started = time.time()
+        self.httpd = _ServeHTTPServer((config.host, config.port), _Handler, self)
+        self._serve_thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._shutdown_done = threading.Event()
+        self.recovered = self.scheduler.recover()
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def health_dict(self) -> Dict:
+        health = self.scheduler.status_dict()
+        health["uptime"] = round(time.time() - self.started, 3)
+        health["recovered"] = self.recovered
+        health["engine"] = self.engine.report()
+        return health
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread (embedded / test use)."""
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful exit: stop admitting, settle in-flight jobs, flush
+        journal + run log, stop the HTTP loop.  Idempotent — concurrent
+        callers block until the first caller's shutdown completes."""
+        with self._shutdown_lock:
+            first = not self._shut_down
+            self._shut_down = True
+        if not first:
+            self._shutdown_done.wait(timeout)
+            return True
+        try:
+            drained = self.scheduler.stop(drain=drain, timeout=timeout)
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+        finally:
+            self._shutdown_done.set()
+        return drained
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(config: ServerConfig) -> int:
+    """Run a server in the foreground until SIGTERM/SIGINT (the
+    ``repro-serve serve`` entry); returns a process exit code."""
+    server = ReproServer(config)
+
+    def handle_signal(signum, _frame):
+        if not config.quiet:
+            print(
+                f"[serve] {signal.Signals(signum).name}: draining...",
+                file=sys.stderr,
+                flush=True,
+            )
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-signal", daemon=True
+        ).start()
+
+    previous: List[Tuple[int, object]] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous.append((signum, signal.signal(signum, handle_signal)))
+    if not config.quiet:
+        extras = []
+        if server.recovered:
+            extras.append(f"{server.recovered} job(s) recovered from journal")
+        cache_dir = config.resolved_cache_dir()
+        extras.append(f"cache {cache_dir}" if cache_dir else "cache disabled")
+        print(
+            f"[serve] listening on {server.url} "
+            f"({config.workers} worker(s), {', '.join(extras)})",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        server.httpd.serve_forever()
+    finally:
+        server.shutdown()
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+        if not config.quiet:
+            print("[serve] drained; bye", file=sys.stderr, flush=True)
+    return 0

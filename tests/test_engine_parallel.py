@@ -43,6 +43,42 @@ def test_results_follow_input_order_and_dedupe():
         assert result is results[doubled.index(spec)]  # same memo object
 
 
+def test_duplicate_specs_write_cache_once(tmp_path):
+    """N copies of one spec in a sweep execute once and persist once."""
+    from repro.engine import ResultCache
+
+    class CountingCache(ResultCache):
+        def __init__(self, root):
+            super().__init__(root)
+            self.puts = 0
+
+        def put(self, key, payload):
+            self.puts += 1
+            super().put(key, payload)
+
+    spec = RunSpec(app="sieve", model="switch-on-load", processors=2,
+                   level=2, scale="tiny")
+    copies = [RunSpec.from_dict(spec.to_dict()) for _ in range(4)]
+    cache = CountingCache(tmp_path / "cache")
+    with Engine(workers=2, cache=cache) as engine:
+        results = engine.run_many(copies)
+        report = engine.report()
+    assert cache.puts == 1
+    assert report["executed"] == 1
+    assert report["deduped"] == 3
+    assert len(results) == 4
+    assert all(result is results[0] for result in results)
+
+
+def test_run_many_call_level_overrides_restore_engine_settings():
+    events = []
+    with Engine(workers=1) as engine:
+        engine.run_many(_sweep_specs()[:1], progress=events.append)
+        assert engine.progress is None  # restored after the call
+        assert engine.timeout is None
+    assert [event["source"] for event in events] == ["run"]
+
+
 def test_parallel_table2_rendering_matches_serial():
     with ExperimentContext(scale="tiny", processors=2, max_level=4) as serial_ctx:
         serial_text, serial_data = T.table2(serial_ctx)

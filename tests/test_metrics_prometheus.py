@@ -1,0 +1,88 @@
+"""Prometheus text-format export of the metrics registry."""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    metrics_from_events,
+    prometheus_name,
+)
+
+
+def test_counter_rendering():
+    registry = MetricsRegistry()
+    registry.counter("serve.jobs.submitted", help="Jobs accepted").inc(3)
+    text = registry.to_prometheus()
+    assert "# HELP serve_jobs_submitted_total Jobs accepted" in text
+    assert "# TYPE serve_jobs_submitted_total counter" in text
+    assert "serve_jobs_submitted_total 3" in text
+    assert text.endswith("\n")
+
+
+def test_counter_named_total_not_doubled():
+    registry = MetricsRegistry()
+    registry.counter("requests_total").inc()
+    text = registry.to_prometheus()
+    assert "requests_total 1" in text
+    assert "requests_total_total" not in text
+
+
+def test_histogram_rendering_cumulative_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("mem.latency.read")
+    for value in (1, 2, 2, 5, 200):
+        hist.observe(value)
+    text = registry.to_prometheus()
+    assert "# TYPE mem_latency_read histogram" in text
+    # Power-of-two buckets, cumulative counts.
+    assert 'mem_latency_read_bucket{le="1"} 1' in text
+    assert 'mem_latency_read_bucket{le="2"} 3' in text
+    assert 'mem_latency_read_bucket{le="8"} 4' in text
+    assert 'mem_latency_read_bucket{le="256"} 5' in text
+    assert 'mem_latency_read_bucket{le="+Inf"} 5' in text
+    assert "mem_latency_read_sum 210" in text
+    assert "mem_latency_read_count 5" in text
+
+
+def test_name_sanitization():
+    assert prometheus_name("mem.issue.read-shared") == "mem_issue_read_shared"
+    assert prometheus_name("0weird name") == "_0weird_name"
+    assert prometheus_name("already_fine:ok") == "already_fine:ok"
+
+
+def test_help_and_label_escaping():
+    assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+    assert escape_label_value('say "hi"\n\\') == 'say \\"hi\\"\\n\\\\'
+    registry = MetricsRegistry()
+    registry.counter("c", help="line1\nline2 \\ slash").inc()
+    text = registry.to_prometheus()
+    assert "# HELP c_total line1\\nline2 \\\\ slash" in text
+    assert "\nline2" not in text  # no raw newline leaks into the help line
+
+
+def test_output_ordering_is_stable_and_sorted():
+    first = MetricsRegistry()
+    first.counter("b.second").inc()
+    first.histogram("a.first").observe(1)
+    second = MetricsRegistry()
+    second.histogram("a.first").observe(1)
+    second.counter("b.second").inc()
+    assert first.to_prometheus() == second.to_prometheus()
+    text = first.to_prometheus()
+    assert text.index("a_first") < text.index("b_second_total")
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().to_prometheus() == ""
+
+
+def test_event_derived_metrics_round_trip_through_exporter():
+    import repro
+    from repro.obs import RingTracer
+
+    tracer = RingTracer(capacity=100_000)
+    repro.simulate("sieve", model="explicit-switch", processors=2, level=2,
+                   scale="tiny", tracer=tracer)
+    text = metrics_from_events(tracer.events()).to_prometheus()
+    assert "instr_total" in text
+    assert "burst_cycles_count" in text

@@ -1,0 +1,301 @@
+"""End-to-end HTTP serve tests: equivalence, backpressure, coalescing,
+drain, restart re-serving, telemetry endpoints, CLI."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.engine import RunSpec
+from repro.faults import FaultConfig
+from repro.serve import Client, JobRejected, ReproServer, ServeError, ServerConfig
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServerConfig(port=0, quiet=True, cache_dir=tmp_path / "cache")
+    with ReproServer(config) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return Client(server.url)
+
+
+def _gate_engine(server):
+    """Wrap the server engine's run_many behind an Event so jobs stay
+    queued deterministically; returns the gate."""
+    gate = threading.Event()
+    original = server.scheduler.engine.run_many
+
+    def gated(*args, **kwargs):
+        assert gate.wait(30.0), "test forgot to open the gate"
+        return original(*args, **kwargs)
+
+    server.scheduler.engine.run_many = gated
+    return gate
+
+
+# -- end-to-end equivalence -----------------------------------------------------
+
+
+def test_served_result_is_byte_identical_to_direct_simulate(client):
+    direct = repro.simulate("sieve", model="explicit-switch", processors=2,
+                            level=4, scale="tiny")
+    [payload] = client.result(
+        client.submit({"app": "sieve", "model": "eswitch", "processors": 2,
+                       "level": 4, "scale": "tiny"}),
+        timeout=120.0,
+    )
+    assert payload["stats"] == direct.stats.to_dict()
+    assert payload["wall_cycles"] == direct.wall_cycles
+    assert payload["config"] == direct.config.to_dict()
+
+
+def test_served_sweep_matches_direct_sweep(client):
+    specs = [
+        RunSpec(app=app, model="switch-on-load", processors=2, level=2,
+                scale="tiny")
+        for app in ("sieve", "sor")
+    ]
+    direct = repro.sweep(specs)
+    payloads = client.result(client.submit(specs), timeout=240.0)
+    assert [p["stats"] for p in payloads] == [
+        r.stats.to_dict() for r in direct
+    ]
+
+
+def test_served_fault_spec_matches_direct(client):
+    faults = FaultConfig(latency_model="uniform", jitter=50, seed=1,
+                         loss_rate=0.01)
+    spec = RunSpec(app="sieve", model="explicit-switch", processors=2,
+                   level=4, scale="tiny", overrides=(("faults", faults),))
+    direct = repro.simulate("sieve", model="explicit-switch", processors=2,
+                            level=4, scale="tiny", faults=faults)
+    [payload] = client.result(client.submit(spec), timeout=240.0)
+    assert payload["stats"] == direct.stats.to_dict()
+    assert payload["stats"]["retries"] > 0  # the faults actually fired
+
+
+# -- coalescing -----------------------------------------------------------------
+
+
+def test_four_concurrent_clients_one_engine_run(server, client):
+    spec = RunSpec(app="sor", model="switch-on-load", processors=2, level=2,
+                   scale="tiny")
+    accepted = []
+
+    def submit():
+        accepted.append(Client(server.url).submit(spec))
+
+    threads = [threading.Thread(target=submit) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+
+    assert len({a["job"] for a in accepted}) == 1  # one job for all four
+    assert sorted(a["coalesced"] for a in accepted) == [False, True, True, True]
+    results = [client.result(a, timeout=120.0) for a in accepted]
+    assert all(result == results[0] for result in results)
+    assert server.engine.report()["executed"] == 1  # exactly one execution
+    metrics = client.metrics()
+    assert "serve_jobs_coalesced_total 3" in metrics
+    assert "serve_engine_executed_total 1" in metrics
+    assert client.status(accepted[0])["clients"] == 4
+
+
+# -- admission control / backpressure -------------------------------------------
+
+
+def test_queue_full_gives_429_with_retry_after(server, client):
+    gate = _gate_engine(server)
+    server.scheduler.max_queue_depth = 1
+    client.submit(RunSpec(app="sieve", model="ideal", scale="tiny"))
+    time.sleep(0.1)  # worker picks the first job up (now gated, RUNNING)
+    client.submit(RunSpec(app="sor", model="ideal", scale="tiny"))  # queued
+    with pytest.raises(JobRejected) as excinfo:
+        client.submit(RunSpec(app="blkmat", model="ideal", scale="tiny"))
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after >= 1
+    # The raw HTTP reply carries the Retry-After header.
+    request = urllib.request.Request(
+        server.url + "/v1/jobs",
+        data=json.dumps(
+            {"spec": {"app": "mp3d", "model": "ideal", "scale": "tiny"}}
+        ).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as http_excinfo:
+        urllib.request.urlopen(request, timeout=10.0)
+    assert http_excinfo.value.code == 429
+    assert int(http_excinfo.value.headers["Retry-After"]) >= 1
+    gate.set()
+
+
+def test_draining_server_gives_503(server, client):
+    server.scheduler.drain(timeout=30.0)
+    with pytest.raises(JobRejected) as excinfo:
+        client.submit(RunSpec(app="sieve", model="ideal", scale="tiny"))
+    assert excinfo.value.status == 503
+    assert client.health()["status"] == "draining"
+
+
+def test_oversized_body_gives_413(server):
+    from repro.serve.server import MAX_BODY_BYTES
+
+    request = urllib.request.Request(
+        server.url + "/v1/jobs",
+        data=b"x" * (MAX_BODY_BYTES + 1),
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10.0)
+    assert excinfo.value.code == 413
+
+
+# -- lifecycle ------------------------------------------------------------------
+
+
+def test_graceful_shutdown_settles_inflight_jobs(tmp_path):
+    config = ServerConfig(port=0, quiet=True, cache_dir=tmp_path / "cache")
+    server = ReproServer(config).start()
+    client = Client(server.url)
+    accepted = client.submit(
+        RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                scale="tiny")
+    )
+    assert server.shutdown(drain=True, timeout=120.0)  # True = clean drain
+    job = server.scheduler.get(accepted["job"])
+    assert job is not None and job.state.value == "done"
+    assert job.results  # settled with payloads before the server exited
+
+
+def test_restart_reserves_finished_job_without_recompute(tmp_path):
+    config = ServerConfig(port=0, quiet=True, cache_dir=tmp_path / "cache")
+    spec = RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                   scale="tiny")
+
+    with ReproServer(config) as first:
+        first_client = Client(first.url)
+        accepted = first_client.submit(spec)
+        original = first_client.result(accepted, timeout=120.0)
+        assert first.engine.report()["executed"] == 1
+
+    with ReproServer(config) as second:
+        assert second.recovered == 1
+        second_client = Client(second.url)
+        status = second_client.wait(accepted["job"], timeout=60.0)
+        assert status["state"] == "done"
+        assert second_client.result(accepted["job"]) == original
+        report = second.engine.report()
+        assert report["executed"] == 0  # nothing recomputed
+        assert report["cached"] == 1    # re-served from the disk cache
+        # And a resubmission of the same spec coalesces onto the
+        # recovered job instead of creating new work.
+        again = second_client.submit(spec)
+        assert again["job"] == accepted["job"] and again["coalesced"]
+
+
+def test_failed_job_surfaces_error_over_http(client):
+    spec = RunSpec(app="sieve", model="switch-on-load", scale="tiny",
+                   overrides=(("max_cycles", 100),))
+    accepted = client.submit(spec)
+    status = client.wait(accepted, timeout=60.0)
+    assert status["state"] == "failed"
+    assert status["error"]["type"] == "SimulationTimeout"
+    with pytest.raises(ServeError) as excinfo:
+        client.result(accepted)
+    assert excinfo.value.status == 500
+
+
+# -- telemetry ------------------------------------------------------------------
+
+
+def test_healthz_shape(client):
+    health = client.health()
+    assert health["status"] == "ok"
+    assert "uptime" in health and "engine" in health
+    assert health["engine"]["workers"] == 1
+
+
+def test_metrics_endpoint_is_prometheus_text(server, client):
+    client.result(
+        client.submit(RunSpec(app="sieve", model="switch-on-load",
+                              processors=2, level=2, scale="tiny")),
+        timeout=120.0,
+    )
+    text = client.metrics()
+    assert "# TYPE serve_jobs_submitted_total counter" in text
+    assert "serve_jobs_submitted_total 1" in text
+    assert "serve_jobs_completed_total 1" in text
+    assert "serve_engine_simulated_cycles_total" in text
+
+
+def test_unknown_routes_and_jobs_404(server, client):
+    with pytest.raises(ServeError) as excinfo:
+        client.status("jdoesnotexist")
+    assert excinfo.value.status == 404
+    for path in ("/nope", "/v1/jobs/x/y/z"):
+        status, _, _ = client._request("GET", path)
+        assert status == 404
+
+
+def test_bad_submit_body_400(server, client):
+    status, _, payload = client._request("POST", "/v1/jobs", {"nope": 1})
+    assert status == 400 and "error" in payload
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_submit_status_and_shutdown(tmp_path, capsys):
+    from repro.serve.cli import main
+
+    config = ServerConfig(port=0, quiet=True, cache_dir=tmp_path / "cache")
+    server = ReproServer(config).start()
+    url = server.url
+    try:
+        assert main(["submit", "sieve", "--model", "eswitch",
+                     "--processors", "2", "--level", "4", "--scale", "tiny",
+                     "--url", url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        direct = repro.simulate("sieve", model="explicit-switch",
+                                processors=2, level=4, scale="tiny")
+        assert payload["stats"] == direct.stats.to_dict()
+
+        job_id = repro.serve.job_id_for(
+            [RunSpec(app="sieve", model="explicit-switch", processors=2,
+                     level=4, scale="tiny", latency=200).key()]
+        )
+        assert main(["status", job_id, "--url", url]) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "done"
+
+        assert main(["shutdown", "--url", url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "draining"
+    finally:
+        server.shutdown()
+
+
+def test_cli_unreachable_server_exit_code():
+    from repro.serve.cli import main
+
+    assert main(["status", "jx", "--url", "http://127.0.0.1:1"]) == 1
+
+
+def test_python_m_repro_serve_help():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.serve", "--help"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "repro-serve" in proc.stdout
