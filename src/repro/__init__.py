@@ -18,6 +18,7 @@ from repro.api import list_apps, list_models, simulate, sweep
 from repro.check import CheckFailure, check_result, replay_check
 from repro.engine import Engine, ResultCache, RunSpec
 from repro.faults import FaultConfig
+from repro.lint import LintError, LintReport, lint_pair, lint_program
 from repro.machine import (
     CacheConfig,
     MachineConfig,
@@ -47,6 +48,10 @@ __all__ = [
     "CheckFailure",
     "check_result",
     "replay_check",
+    "LintError",
+    "LintReport",
+    "lint_program",
+    "lint_pair",
     "SimStats",
     "SimulationResult",
     "Tracer",

@@ -26,6 +26,8 @@ from repro.compiler.passes import (
     strip_switches,
     prepare_for_model,
     grouping_report,
+    STRIPPED_SUFFIX,
+    LEGACY_STRIPPED_SUFFIX,
 )
 from repro.compiler.interblock import (
     InterblockEstimate,
@@ -45,6 +47,8 @@ __all__ = [
     "strip_switches",
     "prepare_for_model",
     "grouping_report",
+    "STRIPPED_SUFFIX",
+    "LEGACY_STRIPPED_SUFFIX",
     "InterblockEstimate",
     "oracle_config",
     "estimate",

@@ -33,7 +33,19 @@ def _group_with_report(
     return reassemble(blocks, program.name + name_suffix), report
 
 
-def strip_switches(program: Program) -> Program:
+#: Suffix appended by :func:`strip_switches`.  Historically this was
+#: ``"-switch"`` (which read as "plus switch" — the opposite of what the
+#: pass does); program names are cosmetic and feed no cache key, so the
+#: rename is free (``tests/test_compiler_grouping.py`` pins the spec and
+#: config keys to prove it).
+STRIPPED_SUFFIX = "-noswitch"
+
+#: The pre-rename suffix, kept so callers that matched on the old
+#: spelling can keep doing so explicitly.
+LEGACY_STRIPPED_SUFFIX = "-switch"
+
+
+def strip_switches(program: Program, name_suffix: str = STRIPPED_SUFFIX) -> Program:
     """Remove every SWITCH instruction (for the split-phase use models,
     which wait at the first *use* instead of at an explicit switch)."""
     blocks = build_blocks(program)
@@ -41,10 +53,12 @@ def strip_switches(program: Program) -> Program:
         block.instructions = [
             ins for ins in block.instructions if ins.op is not Op.SWITCH
         ]
-    return reassemble(blocks, program.name + "-switch")
+    return reassemble(blocks, program.name + name_suffix)
 
 
-def prepare_for_model(program: Program, model: SwitchModel) -> Program:
+def prepare_for_model(
+    program: Program, model: SwitchModel, lint: bool = False
+) -> Program:
     """Produce the code a given machine model would run.
 
     * switch-on-load / switch-on-miss / ideal / switch-every-cycle run
@@ -52,10 +66,21 @@ def prepare_for_model(program: Program, model: SwitchModel) -> Program:
     * explicit-switch and conditional-switch run grouped code;
     * the use models run grouped code with the SWITCH opcodes stripped
       (grouping still clusters the loads ahead of their uses).
+
+    With ``lint=True`` the result is statically verified against the
+    paper's invariants (:mod:`repro.lint`) before it is returned;
+    error-severity diagnostics raise :class:`repro.lint.LintError`.
     """
     if not model.wants_grouped_code:
-        return program
-    grouped = group_program(program)
-    if not model.wants_switch_instructions:
-        return strip_switches(grouped)
-    return grouped
+        prepared = program
+    else:
+        grouped = group_program(program)
+        if not model.wants_switch_instructions:
+            prepared = strip_switches(grouped)
+        else:
+            prepared = grouped
+    if lint:
+        from repro.lint import lint_pair  # local import: lint imports us
+
+        lint_pair(program, prepared, model).raise_on_error()
+    return prepared

@@ -46,9 +46,13 @@ class EngineRunError(RuntimeError):
 
 
 @functools.lru_cache(maxsize=64)
-def _build(app_name: str, nthreads: int, code_model: str, scale: str):
+def _build(app_name: str, nthreads: int, code_model: str, scale: str,
+           lint: bool = False):
     """Build (and lower) one application — cached per process, so level
-    sweeps inside a worker reuse the expensive program construction."""
+    sweeps inside a worker reuse the expensive program construction.
+    With ``lint=True`` the lowered code is statically verified
+    (:mod:`repro.lint`) and a :class:`repro.lint.LintError` aborts the
+    build."""
     from repro.apps.registry import get_app
     from repro.compiler.passes import prepare_for_model
     from repro.harness.sizes import scale_sizes
@@ -57,11 +61,13 @@ def _build(app_name: str, nthreads: int, code_model: str, scale: str):
     spec = get_app(app_name)
     sizes = scale_sizes(scale)[app_name]
     app = spec.build(nthreads, **sizes)
-    program = prepare_for_model(app.program, SwitchModel(code_model))
+    program = prepare_for_model(app.program, SwitchModel(code_model), lint=lint)
     return app, program
 
 
-def execute_spec(spec: RunSpec, include_shared: bool = False) -> Dict:
+def execute_spec(
+    spec: RunSpec, include_shared: bool = False, lint: bool = False
+) -> Dict:
     """Simulate one spec and return its payload dictionary.
 
     Runs in worker processes (top-level so it pickles) and in-process for
@@ -74,7 +80,11 @@ def execute_spec(spec: RunSpec, include_shared: bool = False) -> Dict:
     start = time.perf_counter()
     try:
         app, program = _build(
-            spec.app, spec.total_threads, spec.effective_code_model.value, spec.scale
+            spec.app,
+            spec.total_threads,
+            spec.effective_code_model.value,
+            spec.scale,
+            lint,
         )
         result = run_app(app, spec.machine_config(), program=program)
         return {
@@ -130,6 +140,9 @@ class Engine:
         (:attr:`ResultCache.runlog_path`) when a cache is configured and
         disables it otherwise; ``False`` disables it explicitly; a path
         sends it there.  Memo hits are not logged (they touch nothing).
+    :param lint: statically verify every program before simulating it
+        (:mod:`repro.lint`); error-severity findings fail the run the
+        same way a simulation error would.
     """
 
     def __init__(
@@ -139,10 +152,12 @@ class Engine:
         timeout: Optional[float] = None,
         progress: Optional[ProgressFn] = None,
         runlog: Union[str, Path, bool, None] = None,
+        lint: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.lint = lint
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -396,6 +411,7 @@ class Engine:
                 spec.total_threads,
                 spec.effective_code_model.value,
                 spec.scale,
+                self.lint,
             )
             result = run_app(app, spec.machine_config(), program=program)
         except Exception as error:  # noqa: BLE001 — uniform failure payloads
@@ -457,7 +473,12 @@ class Engine:
                 return
             submitted = []
             for index, spec, key in remaining:
-                future = pool.submit(execute_spec, spec)
+                # Extra args only when linting: test doubles (and older
+                # pickled workers) keep the plain (spec) signature.
+                if self.lint:
+                    future = pool.submit(execute_spec, spec, False, True)
+                else:
+                    future = pool.submit(execute_spec, spec)
                 deadline = (
                     time.monotonic() + self.timeout
                     if self.timeout is not None

@@ -112,6 +112,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="suppress per-run progress lines on stderr",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically verify every program (repro.lint) before "
+        "simulating it; lint errors fail the run",
+    )
     add_fault_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -126,6 +132,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         cache=cache,
         progress=None if args.quiet else stderr_progress,
+        lint=args.lint,
     )
     ctx = ExperimentContext(
         scale=args.scale,

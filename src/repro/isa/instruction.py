@@ -120,6 +120,22 @@ class Instruction:
         return hash((self.op, self.rd, self.rs1, self.rs2, self.imm, self.label))
 
 
+def render_asm(ins: Instruction) -> str:
+    """Best-effort :meth:`Instruction.to_asm` for diagnostics.
+
+    A corrupt instruction (register slot out of range, unknown operand
+    shape) must still render *something* — error messages about broken
+    programs cannot themselves crash on the breakage.
+    """
+    try:
+        return ins.to_asm()
+    except Exception:
+        return (
+            f"{ins.op.name.lower()} <rd={ins.rd} rs1={ins.rs1} "
+            f"rs2={ins.rs2} imm={ins.imm!r} label={ins.label!r}>"
+        )
+
+
 def instr_reads(ins: Instruction) -> Tuple[int, ...]:
     """Register slots read by *ins* (for dependence analysis)."""
     sig = OP_SIG[ins.op]

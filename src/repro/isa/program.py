@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import Instruction, render_asm
 from repro.isa.opcodes import Op, OP_SIG, Sig, SHARED_LOADS, SHARED_STORES
 
 
@@ -60,19 +60,37 @@ class Program:
                 if ins.label is not None:
                     if ins.label not in self.labels:
                         raise ProgramError(
-                            f"instruction {index} ({ins.to_asm()}): "
-                            f"undefined label {ins.label!r}"
+                            self._describe(index)
+                            + f": undefined label {ins.label!r} "
+                            f"(known labels: {', '.join(sorted(self.labels)) or 'none'})"
                         )
                     ins.target = self.labels[ins.label]
                 if not 0 <= ins.target < len(self.instructions):
                     raise ProgramError(
-                        f"instruction {index} ({ins.to_asm()}): "
-                        f"branch target {ins.target} out of range"
+                        self._describe(index)
+                        + f": branch target {ins.target} outside the program "
+                        f"(valid range 0..{len(self.instructions) - 1})"
                     )
         if not any(ins.op is Op.HALT for ins in self.instructions):
-            raise ProgramError("program has no HALT instruction")
+            raise ProgramError(
+                f"program {self.name!r} "
+                f"({len(self.instructions)} instructions): "
+                "no HALT instruction anywhere — every thread must "
+                "terminate explicitly"
+            )
         self._finalized = True
         return self
+
+    def _describe(self, index: int) -> str:
+        """``program 'name': instruction 12 of 340 (`lws r1, 0(r3)`)`` —
+        the error-message anchor that makes a diagnostic findable inside
+        a multi-hundred-instruction app kernel (rendering never raises,
+        even for corrupt operands)."""
+        ins = self.instructions[index]
+        return (
+            f"program {self.name!r}: instruction {index} of "
+            f"{len(self.instructions)} (`{render_asm(ins)}`)"
+        )
 
     def copy(self, name: Optional[str] = None) -> "Program":
         """Deep copy (compiler passes transform copies, never originals)."""

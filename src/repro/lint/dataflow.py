@@ -1,0 +1,256 @@
+"""Dataflow scaffolding over the compiler's basic blocks.
+
+:class:`LintCFG` lifts :func:`repro.compiler.cfg.build_blocks` into a
+real control-flow graph — block successors/predecessors, reachability
+from entry, the set of blocks that can fall off the end of the program —
+and the classic analyses the rules need on top of it:
+
+* :func:`definitely_assigned` — forward *must* analysis ("on every path
+  from entry, which registers have been written?"), the basis of the
+  cross-block use-before-def rule;
+* :func:`live_out_masks` — backward *may* liveness, the basis of the
+  dead-write rule;
+* :func:`dominator_masks` — iterative dominators, used by the shared-
+  store race rule to recognise lock-guarded regions.
+
+Register sets are bitmasks over the 64-slot register file (ints), which
+keeps every transfer function a couple of machine ops.
+
+Indirect jumps (``JR``) are approximated call/return style: their
+successors are the blocks that immediately follow a ``JAL``.  A ``JR``
+with no such return point gets no successors for the forward analyses
+and a fully-live out-set for liveness, so the approximation only ever
+suppresses findings, never invents them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.compiler.cfg import BasicBlock, build_blocks
+from repro.isa.instruction import Instruction, instr_reads, instr_writes
+from repro.isa.opcodes import Op, OP_SIG, Sig
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+
+ALL_REGS_MASK = (1 << NUM_REGS) - 1
+
+
+def reg_mask(slots: Iterable[int]) -> int:
+    """Bitmask of the register *slots* (out-of-range slots are ignored —
+    the operand-range rule reports those separately)."""
+    mask = 0
+    for slot in slots:
+        if 0 <= slot < NUM_REGS:
+            mask |= 1 << slot
+    return mask
+
+
+class LintCFG:
+    """Control-flow graph of a finalized program, built once and shared
+    by every rule."""
+
+    def __init__(self, program: Program):
+        if not program.finalized:
+            raise ValueError("lint requires a finalized program")
+        self.program = program
+        self.blocks: List[BasicBlock] = build_blocks(program)
+        count = len(self.blocks)
+        start_to_block: Dict[int, int] = {
+            block.start: index for index, block in enumerate(self.blocks)
+        }
+        #: Blocks that may fall through past the last instruction.
+        self.falls_off: List[int] = []
+        #: Blocks ending in a JR with no known return points.
+        self.indirect_exits: List[int] = []
+        self.succs: List[List[int]] = [[] for _ in range(count)]
+        self.preds: List[List[int]] = [[] for _ in range(count)]
+
+        return_points = [
+            start_to_block[index + 1]
+            for index, ins in enumerate(program.instructions)
+            if ins.op is Op.JAL and index + 1 in start_to_block
+        ]
+
+        for index, block in enumerate(self.blocks):
+            for succ in self._successors_of(index, block, start_to_block,
+                                            return_points):
+                self.succs[index].append(succ)
+                self.preds[succ].append(index)
+
+        self.reachable = [False] * count
+        if count:
+            stack = [0]
+            while stack:
+                node = stack.pop()
+                if self.reachable[node]:
+                    continue
+                self.reachable[node] = True
+                stack.extend(self.succs[node])
+
+    def _successors_of(
+        self,
+        index: int,
+        block: BasicBlock,
+        start_to_block: Dict[int, int],
+        return_points: List[int],
+    ) -> List[int]:
+        terminator = block.terminator
+        end = block.start + len(block.instructions)
+        fall = start_to_block.get(end)
+
+        def fall_through() -> List[int]:
+            if fall is None:
+                self.falls_off.append(index)
+                return []
+            return [fall]
+
+        if terminator is None:
+            return fall_through()
+        op = terminator.op
+        if op is Op.HALT:
+            return []
+        sig = OP_SIG[op]
+        if sig is Sig.JMP:  # J, JAL
+            target = start_to_block.get(terminator.target)
+            return [target] if target is not None else []
+        if sig is Sig.BR2:
+            out = fall_through()
+            target = start_to_block.get(terminator.target)
+            if target is not None and target not in out:
+                out.append(target)
+            return out
+        if op is Op.JR:
+            if not return_points:
+                self.indirect_exits.append(index)
+            return list(dict.fromkeys(return_points))
+        return fall_through()  # non-terminator opcode (defensive)
+
+    # -- iteration helpers ---------------------------------------------------
+
+    def instructions_of(self, index: int) -> Iterator[Tuple[int, Instruction]]:
+        """Yield ``(absolute pc, instruction)`` for one block."""
+        block = self.blocks[index]
+        for offset, ins in enumerate(block.instructions):
+            yield block.start + offset, ins
+
+    def block_of_pc(self, pc: int) -> int:
+        """Block index containing instruction *pc*."""
+        for index, block in enumerate(self.blocks):
+            if block.start <= pc < block.start + len(block.instructions):
+                return index
+        raise IndexError(pc)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def block_def_masks(cfg: LintCFG) -> List[int]:
+    """Registers written anywhere inside each block."""
+    defs = []
+    for index in range(len(cfg)):
+        mask = 0
+        for _pc, ins in cfg.instructions_of(index):
+            mask |= reg_mask(instr_writes(ins))
+        defs.append(mask)
+    return defs
+
+
+def definitely_assigned(cfg: LintCFG, seed: int) -> List[int]:
+    """Forward must-analysis: for each block, the registers guaranteed
+    written on *every* path from entry when the block is entered.
+
+    *seed* is the entry mask (registers the loader initialises).
+    Unreachable blocks keep the TOP mask (everything assigned) so they
+    never produce use-before-def noise on top of the unreachable-code
+    finding.
+    """
+    count = len(cfg)
+    defs = block_def_masks(cfg)
+    in_masks = [ALL_REGS_MASK] * count
+    if count:
+        in_masks[0] = seed
+    changed = True
+    while changed:
+        changed = False
+        for index in range(count):
+            if not cfg.reachable[index]:
+                continue
+            if index == 0:
+                new_in = seed
+            else:
+                new_in = ALL_REGS_MASK
+                for pred in cfg.preds[index]:
+                    if cfg.reachable[pred]:
+                        new_in &= in_masks[pred] | defs[pred]
+                if not cfg.preds[index]:
+                    new_in = seed
+            if new_in != in_masks[index]:
+                in_masks[index] = new_in
+                changed = True
+    return in_masks
+
+
+def live_out_masks(cfg: LintCFG) -> List[int]:
+    """Backward may-liveness: registers possibly read after each block.
+
+    Blocks ending in an unresolvable indirect jump are given a fully
+    live out-set, so the dead-write rule stays silent about code whose
+    continuation the analysis cannot see.
+    """
+    count = len(cfg)
+    gen = [0] * count  # upward-exposed reads
+    kill = [0] * count
+    for index in range(count):
+        g = k = 0
+        for _pc, ins in cfg.instructions_of(index):
+            reads = reg_mask(instr_reads(ins))
+            g |= reads & ~k
+            k |= reg_mask(instr_writes(ins))
+        gen[index], kill[index] = g, k
+    live_in = [0] * count
+    live_out = [0] * count
+    pessimistic = set(cfg.indirect_exits)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(count - 1, -1, -1):
+            out = ALL_REGS_MASK if index in pessimistic else 0
+            for succ in cfg.succs[index]:
+                out |= live_in[succ]
+            new_in = gen[index] | (out & ~kill[index])
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+    return live_out
+
+
+def dominator_masks(cfg: LintCFG) -> List[int]:
+    """Iterative dominators as block-index bitmasks (``dom[b]`` has bit
+    *d* set when every entry path to *b* passes through *d*).
+    Unreachable blocks dominate themselves only."""
+    count = len(cfg)
+    if not count:
+        return []
+    all_blocks = (1 << count) - 1
+    dom = [all_blocks] * count
+    dom[0] = 1
+    changed = True
+    while changed:
+        changed = False
+        for index in range(1, count):
+            if not cfg.reachable[index]:
+                continue
+            new = all_blocks
+            for pred in cfg.preds[index]:
+                if cfg.reachable[pred]:
+                    new &= dom[pred]
+            new |= 1 << index
+            if new != dom[index]:
+                dom[index] = new
+                changed = True
+    for index in range(count):
+        if not cfg.reachable[index]:
+            dom[index] = 1 << index
+    return dom

@@ -1,0 +1,315 @@
+"""Mutation self-tests: prove every lint rule actually fires.
+
+A linter whose rules never trigger is indistinguishable from one that
+works.  This module builds a small *victim* program that lints fully
+clean (zero diagnostics of any severity, under every switch model), then
+applies one deliberate, seeded corruption per rule and asserts the rule
+reports it.  :func:`run_selftest` is wired into the ``repro-lint
+--selftest`` CLI and the ``tests/test_lint_mutations.py`` suite.
+
+Corruptions are applied *in place* on a finalized copy — exactly the
+kind of breakage the linter exists to catch, since ``finalize()`` can
+only validate what it can see at assembly time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.compiler.passes import prepare_for_model
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Op,
+    OP_SIG,
+    Sig,
+    BLOCK_TERMINATORS,
+    SHARED_STORES,
+)
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS, TID_REG
+from repro.machine.models import SwitchModel
+from repro.runtime.sync import (
+    emit_barrier,
+    emit_lock_acquire,
+    emit_lock_release,
+)
+from repro.lint import lint_pair, lint_program
+from repro.lint.diagnostics import LintReport
+from repro.lint.rules import RULES
+
+
+class SelfTestError(AssertionError):
+    """A lint rule failed to fire (or the victim was not clean)."""
+
+
+def build_victim() -> Program:
+    """A small, fully clean SPMD kernel: two groupable shared loads, FP
+    arithmetic, a loop, and a shared store to a thread-unique address."""
+    b = ProgramBuilder()
+    base = b.int_reg("base")
+    b.add(base, "args", "tid")  # per-thread slot address (tid-derived)
+    a = b.int_reg("a")
+    c = b.int_reg("c")
+    b.lws(a, "args", 0)  # independent loads: one group, one SWITCH
+    b.lws(c, "args", 1)
+    total = b.int_reg("total")
+    b.add(total, a, c)
+    x = b.fp_reg("x")
+    y = b.fp_reg("y")
+    b.fli(x, 1.5)
+    b.cvtif(y, total)
+    b.fadd(x, x, y)
+    out = b.int_reg("out")
+    b.cvtfi(out, x)
+    i = b.int_reg("i")
+    with b.for_range(i, 0, 4):
+        b.addi(out, out, 1)
+    b.sws(out, base, 8)
+    b.halt()
+    return b.build("victim")
+
+
+def build_sync_victim() -> Program:
+    """A kernel exercising the synchronisation exemptions of the race
+    rule: a barrier, then a store to a *shared global* (address not
+    thread-unique) inside a ticket-lock critical section — clean only
+    because the sync-marked FAA of the lock dominates the store."""
+    b = ProgramBuilder()
+    emit_barrier(b, "args", "ntid")
+    lock = b.int_reg("lock")
+    b.addi(lock, "args", 2)
+    ticket = emit_lock_acquire(b, lock)
+    value = b.int_reg("value")
+    b.li(value, 7)
+    b.sws(value, "args", 4)  # global address; guarded by the lock
+    emit_lock_release(b, lock, ticket)
+    b.halt()
+    return b.build("sync-victim")
+
+
+def _mutable_copy(program: Program) -> Program:
+    """Finalized deep copy whose instructions we are allowed to corrupt."""
+    return program.copy()
+
+
+def _pick(rng: random.Random, candidates: List[int], what: str) -> int:
+    if not candidates:
+        raise SelfTestError(f"victim has no mutation site for {what}")
+    return rng.choice(candidates)
+
+
+# ---------------------------------------------------------------------------
+# one corruption per rule; each returns the report of the broken program
+# ---------------------------------------------------------------------------
+
+def _mutate_operand_range(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if OP_SIG[ins.op] is Sig.R3
+    ], "an R3 instruction")
+    victim.instructions[pc].rs2 = NUM_REGS + rng.randrange(1, 32)
+    return lint_program(victim)
+
+
+def _mutate_operand_kind(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV)
+    ], "an FP arithmetic instruction")
+    victim.instructions[pc].rs1 = rng.randrange(1, 32)  # integer file
+    return lint_program(victim)
+
+
+def _mutate_arity(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op is Op.HALT
+    ], "a HALT")
+    victim.instructions[pc].rd = rng.randrange(1, 32)
+    return lint_program(victim)
+
+
+def _mutate_branch_target(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if OP_SIG[ins.op] in (Sig.BR2, Sig.JMP)
+    ], "a branch")
+    victim.instructions[pc].target = len(victim.instructions) + rng.randrange(1, 9)
+    return lint_program(victim)
+
+
+def _mutate_fall_off_end(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    halt_pc = max(
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op is Op.HALT
+    )
+    victim.instructions[halt_pc] = Instruction(Op.NOP)
+    return lint_program(victim)
+
+
+def _mutate_no_halt(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    halt_pc = max(
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op is Op.HALT
+    )
+    spin = Instruction(Op.J)  # halt becomes an infinite self-loop
+    spin.target = halt_pc
+    victim.instructions[halt_pc] = spin
+    return lint_program(victim)
+
+
+def _mutate_unreachable(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    instructions = victim.instructions
+    targeted = {ins.target for ins in instructions} | set(victim.labels.values())
+    pc = _pick(rng, [
+        index for index in range(len(instructions) - 2)
+        if instructions[index].op not in BLOCK_TERMINATORS
+        and instructions[index + 1].op not in BLOCK_TERMINATORS
+        and index + 1 not in targeted
+    ], "a skippable instruction")
+    jump = Instruction(Op.J)  # jump over pc+1, stranding it
+    jump.target = pc + 2
+    instructions[pc] = jump
+    return lint_program(victim)
+
+
+def _mutate_use_before_def(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op in (Op.LI, Op.FLI)
+    ], "an immediate load")
+    victim.instructions[pc] = Instruction(Op.NOP)
+    return lint_program(victim)
+
+
+def _mutate_dead_write(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pc = _pick(rng, [
+        index for index, ins in enumerate(victim.instructions)
+        if ins.op in SHARED_STORES
+    ], "a shared store")
+    victim.instructions[pc] = Instruction(Op.NOP)  # orphans its inputs
+    return lint_program(victim)
+
+
+def _mutate_group_switch(rng: random.Random) -> LintReport:
+    model = SwitchModel.EXPLICIT_SWITCH
+    prepared = _mutable_copy(prepare_for_model(build_victim(), model))
+    pc = _pick(rng, [
+        index for index, ins in enumerate(prepared.instructions)
+        if ins.op is Op.SWITCH
+    ], "a SWITCH")
+    prepared.instructions[pc] = Instruction(Op.NOP)  # group never closes
+    return lint_program(prepared, model, prepared=True)
+
+
+def _mutate_use_model_switch(rng: random.Random) -> LintReport:
+    model = SwitchModel.SWITCH_ON_USE
+    prepared = _mutable_copy(prepare_for_model(build_victim(), model))
+    pc = _pick(rng, [
+        index for index, ins in enumerate(prepared.instructions)
+        if ins.op is Op.NOP or OP_SIG[ins.op] is Sig.R3
+    ], "a replaceable instruction")
+    prepared.instructions[pc] = Instruction(Op.SWITCH)
+    return lint_program(prepared, model, prepared=True)
+
+
+def _mutate_grouping_permutation(rng: random.Random) -> LintReport:
+    from repro.isa.instruction import instr_reads, instr_writes
+
+    model = SwitchModel.SWITCH_ON_USE  # stripped code: no SWITCH rules
+    original = build_victim()
+    prepared = _mutable_copy(prepare_for_model(original, model))
+    instructions = prepared.instructions
+    targeted = {ins.target for ins in instructions} | set(prepared.labels.values())
+    candidates = [
+        index for index in range(len(instructions) - 1)
+        if instructions[index].op not in BLOCK_TERMINATORS
+        and instructions[index + 1].op not in BLOCK_TERMINATORS
+        and index + 1 not in targeted
+        and (set(instr_writes(instructions[index])) - {0})
+        & set(instr_reads(instructions[index + 1]))
+    ]
+    pc = _pick(rng, candidates, "an adjacent RAW pair")
+    instructions[pc], instructions[pc + 1] = instructions[pc + 1], instructions[pc]
+    return lint_pair(original, prepared, model)
+
+
+def _mutate_shared_store_race(rng: random.Random) -> LintReport:
+    victim = _mutable_copy(build_victim())
+    pcs = [
+        index for index, ins in enumerate(victim.instructions)
+        if TID_REG in (ins.rs1, ins.rs2) and ins.op not in BLOCK_TERMINATORS
+    ]
+    pc = _pick(rng, pcs, "a tid read")
+    ins = victim.instructions[pc]  # sever the thread-unique derivation
+    if ins.rs1 == TID_REG:
+        ins.rs1 = 0
+    if ins.rs2 == TID_REG:
+        ins.rs2 = 0
+    return lint_program(victim)
+
+
+MUTATIONS: Dict[str, Callable[[random.Random], LintReport]] = {
+    "isa-operand-range": _mutate_operand_range,
+    "isa-operand-kind": _mutate_operand_kind,
+    "isa-arity": _mutate_arity,
+    "isa-branch-target": _mutate_branch_target,
+    "isa-fall-off-end": _mutate_fall_off_end,
+    "isa-no-halt": _mutate_no_halt,
+    "isa-unreachable-code": _mutate_unreachable,
+    "df-use-before-def": _mutate_use_before_def,
+    "df-dead-write": _mutate_dead_write,
+    "paper-group-switch": _mutate_group_switch,
+    "paper-use-model-switch": _mutate_use_model_switch,
+    "paper-grouping-permutation": _mutate_grouping_permutation,
+    "paper-shared-store-race": _mutate_shared_store_race,
+}
+
+
+def run_selftest(seed: int = 0) -> Dict:
+    """Assert the victims lint clean and every rule fires post-mutation.
+
+    Returns a summary dictionary (consumed by ``repro-lint --selftest``);
+    raises :class:`SelfTestError` on the first failure.
+    """
+    missing = set(RULES) - set(MUTATIONS)
+    if missing:
+        raise SelfTestError(f"rules without a mutation: {sorted(missing)}")
+
+    for program in (build_victim(), build_sync_victim()):
+        for model in SwitchModel:
+            report = lint_pair(
+                program, prepare_for_model(program, model), model
+            )
+            if report.diagnostics:
+                raise SelfTestError(
+                    f"victim not clean: {report.render()}"
+                )
+
+    rng = random.Random(seed)
+    fired: Dict[str, int] = {}
+    for rule_id, mutate in sorted(MUTATIONS.items()):
+        report = mutate(rng)
+        hits = report.by_rule(rule_id)
+        if not hits:
+            raise SelfTestError(
+                f"rule {rule_id} did not fire on its mutation; "
+                f"report: {report.render()}"
+            )
+        fired[rule_id] = len(hits)
+    return {
+        "seed": seed,
+        "rules_proven": len(fired),
+        "diagnostics": fired,
+    }

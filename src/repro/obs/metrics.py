@@ -26,23 +26,33 @@ from repro.obs.events import EventKind, TraceEvent
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count, optionally carrying a set
+    of Prometheus-style labels (one Counter per distinct label set)."""
 
-    __slots__ = ("name", "value", "help")
+    __slots__ = ("name", "value", "help", "labels")
 
-    def __init__(self, name: str, help: Optional[str] = None):
+    def __init__(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ):
         self.name = name
         self.value = 0
         self.help = help
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
     def to_dict(self) -> Dict:
-        return {"type": "counter", "value": self.value}
+        payload = {"type": "counter", "value": self.value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Counter {self.name}={self.value}>"
+        return f"<Counter {labeled_key(self.name, self.labels)}={self.value}>"
 
 
 class Histogram:
@@ -115,12 +125,20 @@ class MetricsRegistry:
     def __init__(self):
         self._instruments: Dict[str, object] = {}
 
-    def counter(self, name: str, help: Optional[str] = None) -> Counter:
-        instrument = self._instruments.get(name)
+    def counter(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Counter:
+        """One counter per (name, label set) — labelled series of one
+        family share the name and differ only in *labels*."""
+        key = labeled_key(name, labels)
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = self._instruments[name] = Counter(name, help)
+            instrument = self._instruments[key] = Counter(name, help, labels)
         elif not isinstance(instrument, Counter):
-            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+            raise TypeError(f"{key!r} is already a {type(instrument).__name__}")
         return instrument
 
     def histogram(self, name: str, help: Optional[str] = None) -> Histogram:
@@ -185,15 +203,32 @@ class MetricsRegistry:
         iteration — stable across runs, so scrapes diff cleanly.
         """
         lines: List[str] = []
+        emitted_families = set()
         for _name, instrument in self:
             if isinstance(instrument, Counter):
                 name = prometheus_name(instrument.name)
                 if not name.endswith("_total"):
                     name += "_total"
-                if instrument.help:
-                    lines.append(f"# HELP {name} {escape_help(instrument.help)}")
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {_format_value(instrument.value)}")
+                if name not in emitted_families:
+                    # TYPE/HELP belong to the family: emit once even when
+                    # many labelled series share the name.
+                    emitted_families.add(name)
+                    if instrument.help:
+                        lines.append(
+                            f"# HELP {name} {escape_help(instrument.help)}"
+                        )
+                    lines.append(f"# TYPE {name} counter")
+                label_part = ""
+                if instrument.labels:
+                    rendered = ",".join(
+                        f'{prometheus_name(key)}='
+                        f'"{escape_label_value(str(value))}"'
+                        for key, value in sorted(instrument.labels.items())
+                    )
+                    label_part = "{" + rendered + "}"
+                lines.append(
+                    f"{name}{label_part} {_format_value(instrument.value)}"
+                )
             else:
                 name = prometheus_name(instrument.name)
                 if instrument.help:
@@ -208,6 +243,18 @@ class MetricsRegistry:
                 lines.append(f"{name}_sum {_format_value(instrument.total)}")
                 lines.append(f"{name}_count {instrument.count}")
         return "\n".join(lines) + "\n" if lines else ""
+
+
+def labeled_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Registry key of a (possibly labelled) series:
+    ``name{k="v",...}`` with labels sorted, or just ``name``."""
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{rendered}}}"
 
 
 def prometheus_name(name: str) -> str:

@@ -46,6 +46,7 @@ _COUNTERS = {
     "serve.jobs.failed": "Jobs finished with an error",
     "serve.jobs.recovered": "Jobs re-enqueued from the journal at startup",
     "serve.specs.resolved": "Individual specs resolved across all jobs",
+    "lint.programs_checked": "Programs statically linted by the check oracle",
 }
 
 
@@ -249,6 +250,7 @@ class JobScheduler:
                 if self.check:
                     from repro.check import check_result
 
+                    self._lint_spec(spec)
                     check_result(result, label=spec.label())
                 payloads.append(result.to_dict())
         except _JobFailure as failure:
@@ -268,6 +270,31 @@ class JobScheduler:
                 self.journal.record_finish(job)
             except OSError:  # pragma: no cover - disk full etc.
                 pass
+
+    def _lint_spec(self, spec) -> None:
+        """Part of the check oracle: statically verify the program a
+        spec runs (memoised per (app, model, threads, scale) — sweeps
+        repeat those, so the marginal cost is a dict lookup).  Findings
+        land in ``lint.diagnostics_total{rule,severity}``; errors fail
+        the job like any other oracle violation."""
+        from repro.lint import lint_spec
+
+        report = lint_spec(spec)
+        self.metrics.counter("lint.programs_checked").inc()
+        for diagnostic in report.diagnostics:
+            self.metrics.counter(
+                "lint.diagnostics",
+                help="Lint diagnostics observed by the check oracle",
+                labels={
+                    "rule": diagnostic.rule_id,
+                    "severity": diagnostic.severity.label,
+                },
+            ).inc()
+        if not report.ok:
+            raise _JobFailure({
+                "type": "LintError",
+                "message": f"{spec.label()}: {report.summary_line()}",
+            })
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -158,6 +158,34 @@ def test_strip_switches():
     assert stripped.shared_load_count() == grouped.shared_load_count()
 
 
+def test_strip_switches_suffix_rename_and_legacy_alias():
+    from repro.compiler import LEGACY_STRIPPED_SUFFIX, STRIPPED_SUFFIX
+
+    assert STRIPPED_SUFFIX == "-noswitch"
+    assert LEGACY_STRIPPED_SUFFIX == "-switch"  # the pre-rename spelling
+    program = assemble(SOR_STYLE)
+    stripped = strip_switches(group_program(program))
+    assert stripped.name.endswith(STRIPPED_SUFFIX)
+    legacy = strip_switches(group_program(program),
+                            name_suffix=LEGACY_STRIPPED_SUFFIX)
+    assert legacy.name.endswith("-switch")
+
+
+def test_suffix_rename_left_cache_keys_unchanged():
+    """Program names are cosmetic: neither the spec key nor the machine
+    config key may move when the stripped-code suffix changes.  These
+    hashes were recorded *before* the rename."""
+    from repro.engine import RunSpec
+    from repro.machine import MachineConfig, SwitchModel
+
+    spec = RunSpec(app="sieve", model="switch-on-use", processors=2,
+                   level=4, scale="tiny")
+    assert spec.key() == "225330b90f6c27ab2d4cd00c77c47b0b"
+    config = MachineConfig(model=SwitchModel.SWITCH_ON_USE,
+                           num_processors=2, threads_per_processor=4)
+    assert config.config_key() == "252b9b54c2dd8277"
+
+
 def test_prepare_for_model_mapping():
     program = assemble(SOR_STYLE)
     assert prepare_for_model(program, SwitchModel.SWITCH_ON_LOAD) is program

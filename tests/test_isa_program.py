@@ -7,8 +7,9 @@ from repro.isa.program import ProgramError
 
 
 def test_requires_halt():
-    with pytest.raises(ProgramError, match="no HALT"):
-        Program([Instruction(Op.NOP)]).finalize()
+    with pytest.raises(ProgramError, match="no HALT") as excinfo:
+        Program([Instruction(Op.NOP)], name="haltless").finalize()
+    assert "'haltless'" in str(excinfo.value)
 
 
 def test_branch_target_resolution():
@@ -20,15 +21,30 @@ def test_branch_target_resolution():
 
 
 def test_undefined_label_rejected():
-    with pytest.raises(ProgramError, match="undefined label"):
-        Program([Instruction(Op.J, label="oops"), Instruction(Op.HALT)]).finalize()
+    with pytest.raises(ProgramError, match="undefined label") as excinfo:
+        Program(
+            [Instruction(Op.NOP), Instruction(Op.J, label="oops"),
+             Instruction(Op.HALT)],
+            labels={"top": 0},
+            name="kernel",
+        ).finalize()
+    message = str(excinfo.value)
+    # The error pinpoints program, index and the rendered offending line
+    # (opaque messages are useless in multi-hundred-instruction kernels).
+    assert "program 'kernel'" in message
+    assert "instruction 1 of 3" in message
+    assert "`j       oops`" in message
+    assert "known labels: top" in message
 
 
 def test_out_of_range_target_rejected():
     bad = Instruction(Op.J)
     bad.target = 99
-    with pytest.raises(ProgramError, match="out of range"):
+    with pytest.raises(ProgramError, match="outside the program") as excinfo:
         Program([bad, Instruction(Op.HALT)]).finalize()
+    message = str(excinfo.value)
+    assert "instruction 0 of 2" in message
+    assert "valid range 0..1" in message
 
 
 def test_copy_is_deep():

@@ -1,0 +1,134 @@
+"""The repro-lint CLI and the lint gates in the compiler/engine/serve
+layers."""
+
+import json
+import time
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.registers import NUM_REGS
+from repro.lint import LintError, LintReport
+from repro.lint.cli import main
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+def test_cli_clean_run(capsys):
+    assert main(["sieve", "--model", "eswitch"]) == 0
+    captured = capsys.readouterr()
+    assert "sieve+grouped [explicit-switch]: ok" in captured.out
+    assert "1 clean, 0 failing" in captured.err
+
+
+def test_cli_requires_apps_or_all(capsys):
+    assert main([]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_model_and_app(capsys):
+    assert main(["sieve", "--model", "bogus"]) == 2
+    assert main(["--all", "--scale", "bogus"]) == 2
+    assert main(["nosuchapp"]) == 2
+
+
+def test_cli_json_report(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert main(["sieve", "sor", "--model", "sou", "--json", str(path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(path.read_text())
+    assert payload["programs"] == 2
+    assert payload["failing"] == 0
+    assert {report["model"] for report in payload["reports"]} == {
+        "switch-on-use"
+    }
+    assert all(report["ok"] for report in payload["reports"])
+
+
+def test_cli_exit_1_when_errors_exist(monkeypatch, capsys):
+    import repro.lint.cli as cli
+
+    failing = LintReport("broken", "explicit-switch", instructions=1, blocks=1)
+    failing.add(Diagnostic(
+        rule_id="isa-no-halt", severity=Severity.ERROR,
+        message="no HALT instruction is reachable", program="broken",
+    ))
+    monkeypatch.setattr(cli, "lint_matrix", lambda *a, **k: iter([failing]))
+    assert main(["sieve"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL (1E" in captured.out
+    assert "1 failing" in captured.err
+
+
+def test_cli_selftest(capsys):
+    assert main(["--selftest", "--seed", "3"]) == 0
+    captured = capsys.readouterr()
+    assert "selftest passed" in captured.err
+    assert "paper-group-switch: fired" in captured.out
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+    import os
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    env = dict(os.environ, PYTHONPATH=str(root / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "sieve", "--model", "eswitch"],
+        capture_output=True, text=True, env=env, cwd=root,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "explicit-switch]: ok" in proc.stdout
+
+
+# -- gates -------------------------------------------------------------------
+
+def test_prepare_for_model_lint_gate():
+    from repro.compiler.passes import prepare_for_model
+    from repro.machine.models import SwitchModel
+
+    clean = assemble("lws r1, 0(r4)\nsws r1, 1(r4)\nhalt\n")
+    prepared = prepare_for_model(clean, SwitchModel.EXPLICIT_SWITCH, lint=True)
+    assert prepared.switch_count() > 0
+
+    corrupt = clean.copy()
+    corrupt.instructions[0].rd = NUM_REGS + 2
+    with pytest.raises(LintError) as excinfo:
+        prepare_for_model(corrupt, SwitchModel.SWITCH_ON_LOAD, lint=True)
+    assert "isa-operand-range" in str(excinfo.value)
+
+
+def test_engine_lint_gate_smoke():
+    from repro.engine import Engine, RunSpec
+
+    engine = Engine(lint=True)
+    try:
+        spec = RunSpec(app="sieve", model="explicit-switch", processors=2,
+                       level=2, scale="tiny")
+        [result] = engine.run_many([spec])
+        assert result.wall_cycles > 0
+    finally:
+        engine.close()
+
+
+def test_scheduler_check_lints_and_counts(tmp_path):
+    from repro.engine import Engine, RunSpec
+    from repro.serve import JobScheduler
+
+    scheduler = JobScheduler(Engine(), check=True)
+    try:
+        spec = RunSpec(app="sieve", model="switch-on-load", processors=2,
+                       level=2, scale="tiny")
+        job, coalesced = scheduler.submit([spec])
+        assert not coalesced
+        deadline = time.time() + 60.0
+        while not job.settled and time.time() < deadline:
+            time.sleep(0.01)
+        assert job.state.value == "done", job.error
+        text = scheduler.metrics_text()
+        assert "lint_programs_checked_total 1" in text
+        # The spec lints clean, so no labelled diagnostics series exists.
+        assert "lint_diagnostics_total{" not in text
+    finally:
+        scheduler.stop()

@@ -1,0 +1,158 @@
+"""The lint CFG and its bitmask dataflow analyses."""
+
+import pytest
+
+from repro.isa import Instruction, Op, assemble
+from repro.isa.registers import NUM_REGS, reg_index
+from repro.lint.dataflow import (
+    ALL_REGS_MASK,
+    LintCFG,
+    block_def_masks,
+    definitely_assigned,
+    dominator_masks,
+    live_out_masks,
+    reg_mask,
+)
+from repro.lint.rules import ENTRY_DEFINED
+
+DIAMOND = """
+    beq r4, r0, else
+    li r1, 1
+    j join
+else:
+    li r2, 2
+join:
+    add r3, r1, r2
+    halt
+"""
+
+
+def bit(name):
+    return 1 << reg_index(name)
+
+
+def test_reg_mask_ignores_out_of_range_slots():
+    assert reg_mask([1, 5]) == (1 << 1) | (1 << 5)
+    assert reg_mask([-1, NUM_REGS, NUM_REGS + 7]) == 0
+    assert reg_mask(range(NUM_REGS)) == ALL_REGS_MASK
+
+
+def test_cfg_requires_finalized_program():
+    from repro.isa import Program
+
+    with pytest.raises(ValueError):
+        LintCFG(Program([Instruction(Op.HALT)]))
+
+
+def test_diamond_edges_and_reachability():
+    cfg = LintCFG(assemble(DIAMOND))
+    assert len(cfg) == 4
+    # beq: fall-through then branch target; both arms rejoin at block 3.
+    assert cfg.succs[0] == [1, 2]
+    assert cfg.succs[1] == [3]
+    assert cfg.succs[2] == [3]
+    assert cfg.succs[3] == []
+    assert sorted(cfg.preds[3]) == [1, 2]
+    assert all(cfg.reachable)
+    assert cfg.falls_off == []
+    assert cfg.indirect_exits == []
+
+
+def test_block_of_pc_and_instruction_iteration():
+    cfg = LintCFG(assemble(DIAMOND))
+    pcs = [pc for index in range(len(cfg))
+           for pc, _ins in cfg.instructions_of(index)]
+    assert pcs == list(range(6))
+    assert cfg.block_of_pc(0) == 0
+    assert cfg.block_of_pc(3) == 2
+    assert cfg.block_of_pc(5) == 3
+    with pytest.raises(IndexError):
+        cfg.block_of_pc(99)
+
+
+def test_unreachable_block_detected():
+    program = assemble(
+        """
+        j end
+        li r1, 1
+    end:
+        halt
+        """
+    )
+    cfg = LintCFG(program)
+    assert cfg.reachable[0]
+    assert not cfg.reachable[1]  # the stranded li
+    assert cfg.reachable[2]
+
+
+def test_fall_off_end_detected_on_mutated_copy():
+    program = assemble(DIAMOND).copy()
+    program.instructions[-1] = Instruction(Op.NOP)  # halt gone
+    cfg = LintCFG(program)
+    assert cfg.falls_off == [3]
+
+
+def test_must_defined_intersects_over_paths():
+    cfg = LintCFG(assemble(DIAMOND))
+    seed = reg_mask(ENTRY_DEFINED)
+    in_masks = definitely_assigned(cfg, seed)
+    assert in_masks[0] == seed
+    # Only one arm defines r1 (and only the other defines r2), so
+    # neither survives the merge.
+    assert not in_masks[3] & bit("r1")
+    assert not in_masks[3] & bit("r2")
+    # Within each arm the arm's own write is visible to its successor set.
+    assert in_masks[3] == seed
+    defs = block_def_masks(cfg)
+    assert defs[1] == bit("r1")
+    assert defs[2] == bit("r2")
+
+
+def test_liveness_propagates_backward():
+    cfg = LintCFG(assemble(DIAMOND))
+    live_out = live_out_masks(cfg)
+    # The join block reads r1 and r2, so both are live out of block 0.
+    assert live_out[0] & bit("r1")
+    assert live_out[0] & bit("r2")
+    # Nothing is live after halt.
+    assert live_out[3] == 0
+
+
+def test_dominators_of_the_merge_block():
+    cfg = LintCFG(assemble(DIAMOND))
+    dom = dominator_masks(cfg)
+    # Entry dominates everything; neither arm dominates the join.
+    for index in range(4):
+        assert dom[index] & 1
+    assert not dom[3] & (1 << 1)
+    assert not dom[3] & (1 << 2)
+    assert dom[3] & (1 << 3)
+
+
+def test_indirect_jump_without_return_points_is_pessimistic():
+    program = assemble(
+        """
+        li r1, 1
+        jr r31
+        halt
+        """
+    )
+    cfg = LintCFG(program)
+    assert cfg.indirect_exits  # no jal anywhere -> unknown continuation
+    assert live_out_masks(cfg)[cfg.indirect_exits[0]] == ALL_REGS_MASK
+
+
+def test_jr_successors_are_jal_return_points():
+    program = assemble(
+        """
+        jal sub
+        halt
+    sub:
+        jr r31
+        """
+    )
+    cfg = LintCFG(program)
+    assert cfg.indirect_exits == []
+    sub_block = cfg.block_of_pc(2)
+    halt_block = cfg.block_of_pc(1)
+    assert cfg.succs[sub_block] == [halt_block]

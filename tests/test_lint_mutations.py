@@ -1,0 +1,48 @@
+"""Mutation self-test: every lint rule must fire on seeded corruption."""
+
+import random
+
+import pytest
+
+from repro.compiler.passes import prepare_for_model
+from repro.lint import RULES, lint_pair
+from repro.lint.mutations import (
+    MUTATIONS,
+    SelfTestError,
+    build_sync_victim,
+    build_victim,
+    run_selftest,
+)
+from repro.machine.models import SwitchModel
+
+
+def test_every_rule_has_a_mutation():
+    assert set(MUTATIONS) == set(RULES)
+
+
+@pytest.mark.parametrize("victim", [build_victim, build_sync_victim])
+@pytest.mark.parametrize("model", list(SwitchModel))
+def test_victims_lint_fully_clean(victim, model):
+    program = victim()
+    report = lint_pair(program, prepare_for_model(program, model), model)
+    assert report.diagnostics == [], report.render()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_selftest_proves_every_rule_live(seed):
+    summary = run_selftest(seed=seed)
+    assert summary["seed"] == seed
+    assert summary["rules_proven"] == len(RULES)
+    assert set(summary["diagnostics"]) == set(RULES)
+    assert all(count >= 1 for count in summary["diagnostics"].values())
+
+
+@pytest.mark.parametrize("rule_id", sorted(MUTATIONS))
+def test_each_mutation_fires_exactly_its_rule(rule_id):
+    report = MUTATIONS[rule_id](random.Random(1))
+    assert report.by_rule(rule_id), report.render()
+
+
+def test_selftest_error_is_an_assertion():
+    # CI treats SelfTestError like any failed assertion.
+    assert issubclass(SelfTestError, AssertionError)

@@ -1,0 +1,358 @@
+"""Per-rule unit tests for the lint rule registry and diagnostics."""
+
+import pytest
+
+from repro.isa import Instruction, Op, assemble
+from repro.isa.registers import NUM_REGS, reg_index
+from repro.lint import (
+    RULES,
+    LintError,
+    LintReport,
+    Severity,
+    lint_pair,
+    lint_program,
+)
+from repro.lint.mutations import build_sync_victim, build_victim
+from repro.machine.models import SwitchModel
+
+CLEAN = """
+    add  r8, r6, r4
+    lws  r9, 0(r8)
+    sws  r9, 1(r8)
+    halt
+"""
+
+
+def only_rule(report, rule_id):
+    """Assert *rule_id* fired and return its diagnostics."""
+    hits = report.by_rule(rule_id)
+    assert hits, f"{rule_id} did not fire: {report.render()}"
+    return hits
+
+
+def test_clean_program_has_no_diagnostics():
+    report = lint_program(assemble(CLEAN))
+    assert report.diagnostics == []
+    assert report.ok
+    assert report.instructions == 4
+    assert report.blocks == 1
+    assert "ok (0E 0W 0I" in report.summary_line()
+
+
+def test_registry_rule_ids_match_their_keys():
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.summary
+
+
+# -- isa-* -------------------------------------------------------------------
+
+def test_operand_range_fires_on_out_of_file_slot():
+    program = assemble(CLEAN).copy()
+    program.instructions[0].rs2 = NUM_REGS + 3
+    report = lint_program(program)
+    [diag] = only_rule(report, "isa-operand-range")
+    assert diag.severity is Severity.ERROR
+    assert diag.pc == 0
+    assert not report.ok
+
+
+def test_operand_kind_fires_on_wrong_register_file():
+    program = assemble(
+        """
+        fli  f1, 1.0
+        fadd f2, f1, f1
+        halt
+        """
+    ).copy()
+    program.instructions[1].rs1 = reg_index("r5")
+    report = lint_program(program)
+    [diag] = only_rule(report, "isa-operand-kind")
+    assert "must be a fp register" in diag.message
+
+
+def test_branches_may_compare_fp_but_not_across_files():
+    same_file = assemble(
+        """
+        fli f1, 1.0
+        fli f2, 2.0
+        bge f1, f2, out
+    out:
+        halt
+        """
+    )
+    assert lint_program(same_file).by_rule("isa-operand-kind") == []
+
+    mixed = same_file.copy()
+    mixed.instructions[2].rs2 = reg_index("r5")
+    [diag] = only_rule(lint_program(mixed), "isa-operand-kind")
+    assert "across register files" in diag.message
+
+
+def test_float_immediate_only_legal_on_fli():
+    program = assemble(CLEAN).copy()
+    program.instructions[0].imm = 1.5
+    only_rule(lint_program(program), "isa-operand-kind")
+
+
+def test_arity_warns_on_unused_operand_fields():
+    program = assemble(CLEAN).copy()
+    program.instructions[-1].rd = 7  # halt takes no operands
+    [diag] = only_rule(lint_program(program), "isa-arity")
+    assert diag.severity is Severity.WARNING
+    assert lint_program(program).ok  # warnings never fail the gate
+
+
+def test_corrupt_branch_target_skips_cfg_rules():
+    program = assemble(
+        """
+        beq r4, r0, end
+        li r1, 1
+    end:
+        halt
+        """
+    ).copy()
+    program.instructions[0].target = 99
+    report = lint_program(program)
+    only_rule(report, "isa-branch-target")
+    # Block discovery would be poisoned, so no CFG rule may run (and the
+    # block count stays unset).
+    assert report.blocks == 0
+    assert report.rules_fired == ["isa-branch-target"]
+
+
+def test_fall_off_end_and_no_halt():
+    program = assemble(CLEAN).copy()
+    program.instructions[-1] = Instruction(Op.NOP)
+    report = lint_program(program)
+    only_rule(report, "isa-fall-off-end")
+    only_rule(report, "isa-no-halt")
+
+
+def test_unreachable_code_warns():
+    program = assemble(
+        """
+        j end
+        li r1, 1
+    end:
+        halt
+        """
+    )
+    [diag] = only_rule(lint_program(program), "isa-unreachable-code")
+    assert diag.severity is Severity.WARNING
+    assert diag.block == 1
+
+
+# -- df-* --------------------------------------------------------------------
+
+def test_use_before_def_on_one_armed_definition():
+    program = assemble(
+        """
+        beq r4, r0, join
+        li r1, 1
+    join:
+        add r2, r1, r0
+        halt
+        """
+    )
+    hits = only_rule(lint_program(program), "df-use-before-def")
+    assert any("r1" in diag.message for diag in hits)
+
+
+def test_entry_registers_are_predefined():
+    # tid/ntid/args/sp may be read immediately — the loader set them.
+    program = assemble(
+        """
+        add r1, r4, r5
+        add r2, r6, r29
+        sws r2, 0(r1)
+        halt
+        """
+    )
+    assert lint_program(program).by_rule("df-use-before-def") == []
+
+
+def test_dead_write_is_info_severity():
+    program = assemble(
+        """
+        li r1, 1
+        li r1, 2
+        sws r1, 0(r4)
+        halt
+        """
+    )
+    [diag] = only_rule(lint_program(program), "df-dead-write")
+    assert diag.severity is Severity.INFO
+    assert diag.pc == 0
+
+
+def test_dead_write_exempts_faa_and_sync():
+    program = assemble(
+        """
+        li  r2, 1
+        faa r1, 0(r4), r2
+        halt
+        """
+    )
+    # The FAA result is unread, but the memory side effect is the point.
+    assert lint_program(program).by_rule("df-dead-write") == []
+
+
+# -- paper-* -----------------------------------------------------------------
+
+def test_group_switch_fires_on_use_inside_open_group():
+    program = assemble(
+        """
+        lws r1, 0(r4)
+        add r2, r1, r1
+        halt
+        """
+    )
+    report = lint_program(program, SwitchModel.EXPLICIT_SWITCH, prepared=True)
+    hits = only_rule(report, "paper-group-switch")
+    assert any("in flight" in diag.message for diag in hits)
+
+
+def test_group_switch_fires_on_group_leaking_past_block_end():
+    program = assemble(
+        """
+        lws r1, 0(r4)
+        halt
+        """
+    )
+    report = lint_program(program, "eswitch", prepared=True)
+    hits = only_rule(report, "paper-group-switch")
+    assert any("not closed" in diag.message for diag in hits)
+
+
+def test_group_switch_clean_when_switch_closes_the_group():
+    program = assemble(
+        """
+        lws r1, 0(r4)
+        switch
+        add r2, r1, r1
+        sws r2, 1(r4)
+        halt
+        """
+    )
+    report = lint_program(program, "eswitch", prepared=True)
+    assert report.by_rule("paper-group-switch") == []
+
+
+def test_use_model_code_must_not_contain_switch():
+    program = assemble(
+        """
+        lws r1, 0(r4)
+        switch
+        sws r1, 1(r4)
+        halt
+        """
+    )
+    report = lint_program(program, SwitchModel.SWITCH_ON_USE, prepared=True)
+    [diag] = only_rule(report, "paper-use-model-switch")
+    assert diag.pc == 1
+    # The same code is fine for a model that executes SWITCHes.
+    assert lint_program(program, "eswitch", prepared=True).ok
+
+
+def test_permutation_rule_catches_reversed_dependence():
+    from repro.compiler.passes import prepare_for_model
+
+    original = build_victim()
+    prepared = prepare_for_model(original, SwitchModel.SWITCH_ON_USE).copy()
+    # Swap the adjacent dependent pair `cvtif y, total` / `fadd x, x, y`.
+    instructions = prepared.instructions
+    [pc] = [
+        index for index, ins in enumerate(instructions)
+        if ins.op is Op.FADD
+    ]
+    instructions[pc - 1], instructions[pc] = instructions[pc], instructions[pc - 1]
+    report = lint_pair(original, prepared, SwitchModel.SWITCH_ON_USE)
+    hits = only_rule(report, "paper-grouping-permutation")
+    assert any("reversed" in diag.message for diag in hits)
+
+
+def test_permutation_rule_catches_dropped_instruction():
+    from repro.compiler.passes import prepare_for_model
+
+    original = assemble(CLEAN)
+    prepared = prepare_for_model(original, SwitchModel.SWITCH_ON_USE).copy()
+    prepared.instructions[0] = Instruction(Op.NOP)
+    report = lint_pair(original, prepared, "sou")
+    hits = report.by_rule("paper-grouping-permutation")
+    messages = " ".join(diag.message for diag in hits)
+    assert "missing" in messages and "appears" in messages
+
+
+def test_shared_store_race_and_its_exemptions():
+    racy = assemble(
+        """
+        li  r1, 7
+        sws r1, 0(r6)
+        halt
+        """
+    )
+    [diag] = only_rule(lint_program(racy), "paper-shared-store-race")
+    assert diag.severity is Severity.WARNING
+
+    tid_derived = assemble(
+        """
+        add r2, r6, r4
+        li  r1, 7
+        sws r1, 0(r2)
+        halt
+        """
+    )
+    assert lint_program(tid_derived).by_rule("paper-shared-store-race") == []
+
+    # A store to a true global is clean only under the lock's sync-FAA.
+    assert lint_program(build_sync_victim()).diagnostics == []
+
+
+# -- report / diagnostics surface -------------------------------------------
+
+def test_diagnostic_rendering_and_json():
+    program = assemble(CLEAN).copy()
+    program.instructions[0].rs2 = NUM_REGS + 1
+    report = lint_program(program)
+    [diag] = report.by_severity(Severity.ERROR)
+    line = diag.render()
+    assert line.startswith("error[isa-operand-range] pc 0")
+    assert "`" in line  # the offending asm is quoted
+    payload = diag.to_dict()
+    assert payload["rule"] == "isa-operand-range"
+    assert payload["severity"] == "error"
+    assert payload["pc"] == 0
+
+    document = report.to_dict()
+    assert document["ok"] is False
+    assert document["errors"] == 1
+    assert document["diagnostics"][0]["rule"] == "isa-operand-range"
+    assert report.render(Severity.ERROR).count("\n") == 1
+
+
+def test_raise_on_error_gate_and_chaining():
+    clean = lint_program(assemble(CLEAN))
+    assert clean.raise_on_error() is clean
+
+    program = assemble(CLEAN).copy()
+    program.instructions[0].rs2 = NUM_REGS + 1
+    with pytest.raises(LintError) as excinfo:
+        lint_program(program).raise_on_error()
+    assert "isa-operand-range" in str(excinfo.value)
+    assert excinfo.value.report.errors == 1
+
+
+def test_severity_parse_and_ordering():
+    assert Severity.parse("error") is Severity.ERROR
+    assert Severity.parse(Severity.INFO) is Severity.INFO
+    assert Severity.WARNING < Severity.ERROR
+    with pytest.raises(ValueError):
+        Severity.parse("fatal")
+
+
+def test_report_accounting_helpers():
+    report = LintReport("p", "eswitch")
+    assert report.subject() == "p [eswitch]"
+    assert report.rules_fired == []
+    assert report.ok and report.errors == 0

@@ -4,6 +4,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     escape_help,
     escape_label_value,
+    labeled_key,
     metrics_from_events,
     prometheus_name,
 )
@@ -42,6 +43,61 @@ def test_histogram_rendering_cumulative_buckets():
     assert 'mem_latency_read_bucket{le="+Inf"} 5' in text
     assert "mem_latency_read_sum 210" in text
     assert "mem_latency_read_count 5" in text
+
+
+def test_labeled_key_is_sorted_and_escaped():
+    assert labeled_key("c") == "c"
+    assert labeled_key("c", {}) == "c"
+    assert (
+        labeled_key("c", {"b": "2", "a": "1"}) == 'c{a="1",b="2"}'
+    )
+    assert labeled_key("c", {"x": 'say "hi"'}) == 'c{x="say \\"hi\\""}'
+
+
+def test_labeled_counters_are_distinct_series():
+    registry = MetricsRegistry()
+    first = registry.counter("lint.diagnostics",
+                             labels={"rule": "isa-arity",
+                                     "severity": "warning"})
+    second = registry.counter("lint.diagnostics",
+                              labels={"rule": "isa-no-halt",
+                                      "severity": "error"})
+    assert first is not second
+    first.inc(2)
+    second.inc()
+    # Same (name, labels) -> the same instrument.
+    again = registry.counter("lint.diagnostics",
+                             labels={"severity": "warning",
+                                     "rule": "isa-arity"})
+    assert again is first
+    assert again.value == 2
+    assert len(registry) == 2
+
+
+def test_labeled_counter_rendering_one_family_header():
+    registry = MetricsRegistry()
+    registry.counter("lint.diagnostics", help="Lint findings",
+                     labels={"rule": "df-dead-write",
+                             "severity": "info"}).inc()
+    registry.counter("lint.diagnostics", help="Lint findings",
+                     labels={"rule": "isa-no-halt",
+                             "severity": "error"}).inc(3)
+    text = registry.to_prometheus()
+    assert text.count("# HELP lint_diagnostics_total") == 1
+    assert text.count("# TYPE lint_diagnostics_total counter") == 1
+    assert ('lint_diagnostics_total{rule="df-dead-write",severity="info"} 1'
+            in text)
+    assert ('lint_diagnostics_total{rule="isa-no-halt",severity="error"} 3'
+            in text)
+
+
+def test_labeled_counter_to_dict_carries_labels():
+    registry = MetricsRegistry()
+    registry.counter("plain").inc()
+    registry.counter("tagged", labels={"k": "v"}).inc()
+    document = registry.to_dict()
+    assert "labels" not in document["plain"]
+    assert document['tagged{k="v"}']["labels"] == {"k": "v"}
 
 
 def test_name_sanitization():
