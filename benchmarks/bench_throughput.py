@@ -1,0 +1,252 @@
+"""Simulator throughput (simulated cycles per wall-clock second).
+
+Unlike the other ``bench_*`` files, this one measures the *simulator*,
+not the simulated machine: how many cycles/sec each execution backend
+(:mod:`repro.jit`) sustains across the full application × switch-model
+grid.  It is a script, not a pytest module::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI subset
+
+Each invocation writes one ``BENCH_<backend>.json`` per measured
+backend into ``--out-dir`` (repo root by default).  When the compiled
+backend is measured and ``BENCH_interpreter.json`` already exists on
+disk, the compiled report also records per-cell and geomean speedups
+against that committed baseline — the baseline is captured once, before
+backend optimization work, and stays frozen so speedups are measured
+against the interpreter the project started from (see the EXPERIMENTS
+throughput appendix).
+
+Within a single invocation that measures both backends, every cell's
+``SimStats`` are additionally cross-checked for bit-identity — a cheap
+standing instance of the equivalence contract pinned for real by
+``tests/test_jit_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import list_apps, list_models
+from repro.engine.executor import _build
+from repro.engine.spec import RunSpec
+from repro.jit import resolve_backend
+from repro.runtime.execution import make_simulator
+
+QUICK_APPS = ("blkmat", "mp3d")
+
+
+def _measure_cell(
+    spec: RunSpec, backend: str, repeats: int
+) -> Dict[str, object]:
+    """Best-of-*repeats* wall seconds for one (app, model, backend) cell."""
+    app, program = _build(
+        spec.app, spec.total_threads, spec.effective_code_model.value, spec.scale
+    )
+    config = spec.machine_config()
+    best = math.inf
+    stats = None
+    cycles = 0
+    for _ in range(repeats):
+        sim = make_simulator(app, config, program=program, backend=backend)
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        stats = result.stats.to_dict()
+        cycles = stats["wall_cycles"]
+    return {
+        "app": spec.app,
+        "model": spec.model,
+        "wall_cycles": cycles,
+        "seconds": best,
+        "cycles_per_sec": cycles / best if best > 0 else 0.0,
+        "_stats": stats,
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_grid(
+    backend: str,
+    apps: List[str],
+    models: List[str],
+    scale: str,
+    processors: int,
+    level: int,
+    repeats: int,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    cells = []
+    for app in apps:
+        for model in models:
+            spec = RunSpec(
+                app=app,
+                model=model,
+                processors=processors,
+                level=level,
+                scale=scale,
+            )
+            cell = _measure_cell(spec, backend, repeats)
+            cells.append(cell)
+            if verbose:
+                print(
+                    f"  {backend:>11s}  {app:>7s} {model:<19s} "
+                    f"{cell['wall_cycles']:>9d} cyc  "
+                    f"{cell['seconds'] * 1e3:8.2f} ms  "
+                    f"{cell['cycles_per_sec'] / 1e6:7.3f} Mcyc/s",
+                    flush=True,
+                )
+    return {
+        "benchmark": "throughput",
+        "backend": backend,
+        "scale": scale,
+        "processors": processors,
+        "level": level,
+        "repeats": repeats,
+        "cells": cells,
+        "geomean_cycles_per_sec": _geomean(
+            [c["cycles_per_sec"] for c in cells]
+        ),
+    }
+
+
+def _cross_check(reports: Dict[str, Dict]) -> None:
+    """Backends must produce bit-identical SimStats per cell."""
+    names = sorted(reports)
+    if len(names) < 2:
+        return
+    base = reports[names[0]]
+    for other_name in names[1:]:
+        other = reports[other_name]
+        for ca, cb in zip(base["cells"], other["cells"]):
+            if ca["_stats"] != cb["_stats"]:
+                raise SystemExit(
+                    f"stats mismatch: {ca['app']}/{ca['model']} differs "
+                    f"between {names[0]} and {other_name}"
+                )
+    print("cross-check: SimStats bit-identical across backends")
+
+
+def _attach_baseline(report: Dict, out_dir: str) -> None:
+    """Record speedups vs the committed interpreter baseline, if any."""
+    path = os.path.join(out_dir, "BENCH_interpreter.json")
+    if report["backend"] == "interpreter" or not os.path.exists(path):
+        return
+    with open(path) as fh:
+        baseline = json.load(fh)
+    base_cells = {
+        (c["app"], c["model"]): c["cycles_per_sec"]
+        for c in baseline["cells"]
+    }
+    ratios = []
+    for cell in report["cells"]:
+        ref = base_cells.get((cell["app"], cell["model"]))
+        if ref:
+            cell["speedup_vs_baseline"] = cell["cycles_per_sec"] / ref
+            ratios.append(cell["speedup_vs_baseline"])
+    if ratios:
+        report["baseline"] = "BENCH_interpreter.json"
+        report["geomean_speedup_vs_baseline"] = _geomean(ratios)
+
+
+def _write(report: Dict, out_dir: str) -> str:
+    for cell in report["cells"]:
+        cell.pop("_stats", None)
+    path = os.path.join(out_dir, f"BENCH_{report['backend']}.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"2-app CI subset ({', '.join(QUICK_APPS)}) instead of the full grid",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["interpreter", "compiled"],
+        help="backends to measure (default: both)",
+    )
+    parser.add_argument("--apps", nargs="+", default=None)
+    parser.add_argument("--models", nargs="+", default=None)
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--processors", type=int, default=2)
+    parser.add_argument("--level", type=int, default=4)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N per cell"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=os.path.join(os.path.dirname(__file__), ".."),
+        help="where BENCH_<backend>.json files land (default: repo root)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.0,
+        help="fail unless compiled/interpreter geomean ratio (measured "
+        "in this invocation) is at least this",
+    )
+    args = parser.parse_args(argv)
+
+    apps = args.apps or (list(QUICK_APPS) if args.quick else list_apps())
+    models = args.models or list_models()
+    backends = [resolve_backend(b) for b in args.backends]
+
+    reports: Dict[str, Dict] = {}
+    for backend in backends:
+        print(f"measuring backend={backend} on {len(apps)}x{len(models)} grid "
+              f"(scale={args.scale}, best of {args.repeats})", flush=True)
+        reports[backend] = run_grid(
+            backend, apps, models, args.scale, args.processors,
+            args.level, args.repeats,
+        )
+    _cross_check(reports)
+
+    for report in reports.values():
+        _attach_baseline(report, args.out_dir)
+        path = _write(report, args.out_dir)
+        line = (
+            f"{report['backend']}: geomean "
+            f"{report['geomean_cycles_per_sec'] / 1e6:.3f} Mcyc/s"
+        )
+        if "geomean_speedup_vs_baseline" in report:
+            line += (
+                f", {report['geomean_speedup_vs_baseline']:.2f}x vs "
+                "committed baseline"
+            )
+        print(f"{line}  -> {os.path.relpath(path)}")
+
+    if "interpreter" in reports and "compiled" in reports:
+        ratio = (
+            reports["compiled"]["geomean_cycles_per_sec"]
+            / reports["interpreter"]["geomean_cycles_per_sec"]
+        )
+        print(f"live compiled/interpreter geomean ratio: {ratio:.2f}x")
+        if args.min_ratio and ratio < args.min_ratio:
+            print(f"FAIL: ratio {ratio:.2f}x < required {args.min_ratio}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ See :mod:`repro.api` for the facade, :mod:`repro.engine` for the sweep
 engine underneath it, and ``repro-bench --help`` for the CLI.
 """
 
-from repro.api import list_apps, list_models, simulate, sweep
+from repro.api import backends, list_apps, list_models, simulate, sweep
 from repro.check import CheckFailure, check_result, replay_check
 from repro.engine import Engine, ResultCache, RunSpec
 from repro.faults import FaultConfig
@@ -35,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "simulate",
     "sweep",
+    "backends",
     "list_apps",
     "list_models",
     "RunSpec",

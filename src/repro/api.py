@@ -19,7 +19,8 @@ outputs and no internal imports::
 :class:`~repro.engine.spec.RunSpec` out over worker processes with
 deterministic result ordering and optional on-disk caching.  The old
 entry points (``repro.runtime.loader``, ``repro.harness.experiment``)
-remain as deprecation shims.
+are gone — importing them raises ``ImportError`` naming the
+replacement.
 """
 
 from __future__ import annotations
@@ -47,6 +48,19 @@ def list_models() -> List[str]:
     return [model.value for model in SwitchModel]
 
 
+def backends() -> List[Dict]:
+    """The registered execution backends (:mod:`repro.jit`).
+
+    One dictionary per backend with ``name``, ``available``, ``default``
+    and ``description`` keys — the programmatic twin of
+    ``repro-bench --list-backends``.  Backends are bit-identical by
+    contract; choosing one changes wall-clock speed only.
+    """
+    from repro.jit import backend_info
+
+    return backend_info()
+
+
 def _as_spec(spec: SpecLike) -> RunSpec:
     if isinstance(spec, RunSpec):
         return spec
@@ -66,6 +80,7 @@ def simulate(
     oracle: bool = False,
     cache: Union[ResultCache, str, None] = None,
     tracer: Optional[Tracer] = None,
+    backend: Optional[str] = None,
     **overrides,
 ) -> SimulationResult:
     """Simulate one registered application on one machine configuration.
@@ -80,6 +95,9 @@ def simulate(
     disk.  Pass *tracer* (e.g. a :class:`~repro.obs.RingTracer`) to
     record cycle-level events; traced runs execute in-process and bypass
     the result cache — a stored payload has no event stream to replay.
+    Pass *backend* (``"interpreter"``, ``"compiled"``, ``"auto"``; see
+    :func:`backends`) to pick the execution backend — results are
+    bit-identical whichever runs.
     """
     if SwitchModel(model) is SwitchModel.IDEAL and latency == DEFAULT_LATENCY:
         latency = 0
@@ -91,6 +109,7 @@ def simulate(
         scale=scale,
         latency=latency,
         oracle=oracle,
+        backend=backend,
         **overrides,
     )
     if tracer is not None and tracer.enabled:
@@ -100,7 +119,10 @@ def simulate(
         app, program = _build(
             spec.app, spec.total_threads, spec.effective_code_model.value, spec.scale
         )
-        return run_app(app, spec.machine_config(), program=program, tracer=tracer)
+        return run_app(
+            app, spec.machine_config(), program=program, tracer=tracer,
+            backend=spec.backend,
+        )
     with Engine(workers=1, cache=cache) as engine:
         return engine.run(spec)
 
@@ -112,16 +134,20 @@ def sweep(
     cache: Union[ResultCache, str, None] = None,
     timeout: Optional[float] = None,
     progress=None,
+    backend: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Execute a list of specs (RunSpecs or keyword dictionaries).
 
     Results come back in input order and are identical whatever the
     worker count; with *cache* set, completed runs persist across calls
     and processes.  Raises on the first failed run (after the whole sweep
-    has been collected).
+    has been collected).  *backend* sets the default execution backend
+    for specs that do not name one (see :func:`backends`); the choice
+    never affects results or cache hits, only wall-clock speed.
     """
     run_specs = [_as_spec(spec) for spec in specs]
     with Engine(
-        workers=workers, cache=cache, timeout=timeout, progress=progress
+        workers=workers, cache=cache, timeout=timeout, progress=progress,
+        backend=backend,
     ) as engine:
         return engine.run_many(run_specs, on_error="raise")

@@ -32,8 +32,11 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import dataclasses
+
 from repro.engine.cache import ResultCache
 from repro.engine.spec import RunSpec
+from repro.jit import resolve_backend
 from repro.machine.simulator import SimulationResult, SimulationTimeout
 from repro.obs.runlog import RunLogWriter, peak_rss_kb
 
@@ -86,7 +89,9 @@ def execute_spec(
             spec.scale,
             lint,
         )
-        result = run_app(app, spec.machine_config(), program=program)
+        result = run_app(
+            app, spec.machine_config(), program=program, backend=spec.backend
+        )
         return {
             "spec": spec.to_dict(),
             "result": result.to_dict(include_shared=include_shared),
@@ -143,6 +148,12 @@ class Engine:
     :param lint: statically verify every program before simulating it
         (:mod:`repro.lint`); error-severity findings fail the run the
         same way a simulation error would.
+    :param backend: default execution backend (``"interpreter"``,
+        ``"compiled"``, ``"auto"``; see :mod:`repro.jit`) for specs that
+        do not name one themselves.  A spec's own ``backend`` field wins.
+        ``None`` (default) defers to the global default.  Backends are
+        bit-identical, so this only changes wall-clock speed — never
+        results, and never cache keys.
     """
 
     def __init__(
@@ -153,11 +164,15 @@ class Engine:
         progress: Optional[ProgressFn] = None,
         runlog: Union[str, Path, bool, None] = None,
         lint: bool = False,
+        backend: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.lint = lint
+        if backend is not None:
+            resolve_backend(backend)  # reject unknown spellings up front
+        self.backend = backend
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -182,6 +197,7 @@ class Engine:
             "failed": 0,
             "deduped": 0,
         }
+        self._executed_by_backend: Dict[str, int] = {}
         self._simulated_cycles = 0
         self._wall_time = 0.0
         self._started = time.perf_counter()
@@ -228,6 +244,15 @@ class Engine:
 
     # -- bookkeeping -----------------------------------------------------------
 
+    def _effective(self, spec: RunSpec) -> RunSpec:
+        """The spec as it will execute: the engine-level default backend
+        is stamped onto specs that carry none.  Memo and cache keys
+        ignore the backend, so this never changes what a spec resolves
+        to — only which engine simulates a miss."""
+        if spec.backend is None and self.backend is not None:
+            return dataclasses.replace(spec, backend=self.backend)
+        return spec
+
     def _notify(self, spec: RunSpec, source: str, elapsed: float, total: int) -> None:
         if self.progress is None:
             return
@@ -249,6 +274,9 @@ class Engine:
         completed = self._counts["executed"] + self._counts["cached"]
         return {
             "executed": self._counts["executed"],
+            "executed_by_backend": dict(
+                sorted(self._executed_by_backend.items())
+            ),
             "cached": self._counts["cached"],
             "memo_hits": self._counts["memo_hits"],
             "failed": self._counts["failed"],
@@ -281,9 +309,19 @@ class Engine:
             if report["quarantined"]
             else ""
         )
+        # Every execution is attributed to the backend that ran it, so a
+        # mixed sweep reads e.g. "12 simulated [10 compiled, 2 interpreter]".
+        backend_part = (
+            " [" + ", ".join(
+                f"{count} {name}"
+                for name, count in report["executed_by_backend"].items()
+            ) + "]"
+            if report["executed_by_backend"]
+            else ""
+        )
         return (
             f"[engine] {report['completed']} runs "
-            f"({report['executed']} simulated{cache_part}, "
+            f"({report['executed']} simulated{backend_part}{cache_part}, "
             f"{report['failed']} failed, {report['memo_hits']} memo hits), "
             f"{report['simulated_cycles']:,} cycles in {report['wall_seconds']:.1f}s "
             f"with {report['workers']} worker(s){quarantine_part}"
@@ -348,6 +386,10 @@ class Engine:
         self._memo[key] = result
         if source == "run":
             self._counts["executed"] += 1
+            backend = resolve_backend(spec.backend)
+            self._executed_by_backend[backend] = (
+                self._executed_by_backend.get(backend, 0) + 1
+            )
             self._simulated_cycles += result.wall_cycles
         else:
             self._counts["cached"] += 1
@@ -372,6 +414,7 @@ class Engine:
 
     def run(self, spec: RunSpec) -> SimulationResult:
         """Execute (or recall) one spec; raises on failure."""
+        spec = self._effective(spec)
         key = spec.key()
         if key in self._memo:
             self._counts["memo_hits"] += 1
@@ -413,7 +456,10 @@ class Engine:
                 spec.scale,
                 self.lint,
             )
-            result = run_app(app, spec.machine_config(), program=program)
+            result = run_app(
+                app, spec.machine_config(), program=program,
+                backend=spec.backend,
+            )
         except Exception as error:  # noqa: BLE001 — uniform failure payloads
             return None, {
                 "spec": spec.to_dict(),
@@ -578,6 +624,7 @@ class Engine:
     def _run_many(
         self, specs: Sequence[RunSpec], on_error: str
     ) -> List[Optional[SimulationResult]]:
+        specs = [self._effective(spec) for spec in specs]
         keys = [spec.key() for spec in specs]
         total = len(specs)
 

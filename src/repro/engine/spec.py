@@ -65,6 +65,13 @@ class RunSpec:
     than the machine runs (e.g. Table 5's "grouped code on the ideal
     machine" reorganisation-penalty run).  ``overrides`` are extra
     :class:`MachineConfig` keyword arguments as a sorted tuple of pairs.
+
+    ``backend`` picks the execution backend (:mod:`repro.jit`):
+    ``"interpreter"``, ``"compiled"``, ``"auto"``, or ``None`` for "no
+    preference" (the engine's — then the global — default applies).
+    Backends are bit-identical by contract, so the backend is carried on
+    the wire but deliberately **excluded** from :meth:`key`: a cached
+    result answers requests from every backend.
     """
 
     app: str
@@ -76,6 +83,7 @@ class RunSpec:
     oracle: bool = False
     code_model: Optional[str] = None
     overrides: Tuple[Tuple[str, object], ...] = ()
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.model, SwitchModel):
@@ -94,6 +102,10 @@ class RunSpec:
             object.__setattr__(self, "overrides", tuple(self.overrides))
         if self.processors < 1 or self.level < 1:
             raise ValueError("processors and level must be >= 1")
+        if self.backend is not None:
+            from repro.jit import resolve_backend
+
+            resolve_backend(self.backend)  # validate the spelling early
 
     # -- construction ----------------------------------------------------------
 
@@ -168,6 +180,7 @@ class RunSpec:
             "overrides": [
                 [key, _encode_override(value)] for key, value in self.overrides
             ],
+            "backend": self.backend,
         }
 
     @classmethod
@@ -185,13 +198,21 @@ class RunSpec:
                 (key, _decode_override(value))
                 for key, value in data.get("overrides", [])
             ),
+            backend=data.get("backend"),
         )
 
     def key(self) -> str:
         """Stable content hash (latency resolved, overrides sorted) —
-        the memo / cache-file key."""
+        the memo / cache-file key.
+
+        The ``backend`` field is dropped first: backends are execution
+        strategies, not result identity (bit-identical by contract), so
+        interpreter and compiled requests share one cache entry.
+        """
+        payload = self.to_dict()
+        del payload["backend"]
         canonical = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+            payload, sort_keys=True, separators=(",", ":"), default=repr
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 

@@ -28,6 +28,7 @@ from typing import Dict, List
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.executor import Engine, stderr_progress
 from repro.faults.cliargs import add_fault_arguments, fault_config_from_args
+from repro.harness.cliargs import add_backend_argument
 from repro.harness.context import ExperimentContext
 from repro.harness.tables import ALL_TABLES
 from repro.harness.figures import ALL_FIGURES
@@ -65,7 +66,17 @@ def main(argv=None) -> int:
         prog="repro-bench",
         description="Regenerate tables/figures from Boothe & Ranade (ISCA 1992).",
     )
-    parser.add_argument("target", choices=_targets(), help="what to regenerate")
+    parser.add_argument(
+        "target",
+        nargs="?",
+        choices=_targets(),
+        help="what to regenerate",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the execution backends (repro.jit) and exit",
+    )
     parser.add_argument(
         "--scale",
         default="small",
@@ -118,9 +129,20 @@ def main(argv=None) -> int:
         help="statically verify every program (repro.lint) before "
         "simulating it; lint errors fail the run",
     )
+    add_backend_argument(parser)
     add_fault_arguments(parser)
     args = parser.parse_args(argv)
 
+    if args.list_backends:
+        from repro.api import backends
+
+        for info in backends():
+            marker = "*" if info["default"] else " "
+            print(f"{marker} {info['name']:<12s} {info['description']}")
+        print("(* = default; backends produce bit-identical results)")
+        return 0
+    if args.target is None:
+        parser.error("target is required (or use --list-backends)")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     try:
@@ -133,6 +155,7 @@ def main(argv=None) -> int:
         cache=cache,
         progress=None if args.quiet else stderr_progress,
         lint=args.lint,
+        backend=args.backend,
     )
     ctx = ExperimentContext(
         scale=args.scale,
@@ -182,6 +205,7 @@ def main(argv=None) -> int:
                     "processors": args.processors,
                     "latency": args.latency,
                     "workers": args.workers,
+                    "backend": args.backend,
                     "cache": not args.no_cache,
                     "check": args.check,
                     "faults": faults.to_dict() if faults is not None else None,

@@ -14,7 +14,20 @@ import argparse
 
 from repro.engine.spec import DEFAULT_LATENCY, RunSpec
 from repro.faults.cliargs import add_fault_arguments, fault_config_from_args
+from repro.jit import BACKENDS
 from repro.machine.models import SwitchModel
+
+
+def add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--backend`` flag (one definition for
+    ``repro-bench``, ``repro-trace run`` and ``repro-serve submit``)."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(BACKENDS),
+        help="execution backend (bit-identical results; default: "
+        "interpreter — see repro-bench --list-backends)",
+    )
 
 
 def add_spec_arguments(
@@ -37,6 +50,7 @@ def add_spec_arguments(
     parser.add_argument(
         "--latency", type=int, default=DEFAULT_LATENCY, help="round-trip cycles"
     )
+    add_backend_argument(parser)
     if faults:
         add_fault_arguments(parser)
 
@@ -65,5 +79,6 @@ def spec_from_args(args) -> RunSpec:
         level=args.level,
         scale=args.scale,
         latency=latency,
+        backend=getattr(args, "backend", None),
         **overrides,
     )

@@ -1,29 +1,13 @@
-"""Deprecated module — the context now lives in :mod:`repro.harness.context`.
+"""Removed module — the context lives in :mod:`repro.harness.context`.
 
-``from repro.harness.experiment import ExperimentContext`` still works
-but emits a :class:`DeprecationWarning`; import it from
-:mod:`repro.harness` (or use the :mod:`repro.api` facade, which covers
-the common cases without a context object at all).
+``repro.harness.experiment`` spent one release as a
+``DeprecationWarning`` shim; it now fails fast so stale imports surface
+at import time instead of silently forwarding forever.
 """
 
 from __future__ import annotations
 
-import warnings
-
-
-def __getattr__(name):
-    if name == "ExperimentContext":
-        warnings.warn(
-            "repro.harness.experiment.ExperimentContext is deprecated; import "
-            "it from repro.harness (or use repro.api.simulate / repro.api.sweep)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.harness.context import ExperimentContext
-
-        return ExperimentContext
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(list(globals()) + ["ExperimentContext"])
+raise ImportError(
+    "repro.harness.experiment was removed; import ExperimentContext "
+    "from repro.harness (or use repro.api.simulate / repro.api.sweep)"
+)

@@ -26,6 +26,7 @@ Design notes for the interpreter loop (``_burst``):
 from __future__ import annotations
 
 import math
+from heapq import heappush
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.faults.plan import RetryLimitExceeded
@@ -159,6 +160,13 @@ class Processor:
         config = sim.config
         self.model = _MODEL_CODES[config.model]
         self.burst_limit = config.burst_limit
+        # switch-every-cycle is implemented as one-cycle switch-on-load
+        # bursts (see _burst_sec).  Fold that rewrite in here, once,
+        # instead of swapping model/burst_limit around every burst.
+        self._sec = self.model == M_SEC
+        if self._sec:
+            self.model = M_SOL
+            self.burst_limit = 1
         self.forced_interval = config.forced_switch_interval
         self.switch_cost = config.switch_cost if config.model.pays_flush_cost else 0
         self.code = sim.program.instructions
@@ -170,15 +178,19 @@ class Processor:
     def dispatch_event(self, now: int, _arg=None) -> None:
         """Heap event: run one burst of the current thread."""
         thread = self.threads[self.cur]
-        if self.model == M_SEC:
+        if self._sec:
             outcome, t_end = self._burst_sec(thread, now)
         else:
             outcome, t_end = self._burst(thread, now)
-        tracer = self.sim.tracer
+        sim = self.sim
+        tracer = sim.tracer
         if tracer is not None:
             tracer.burst(now, self.pid, thread.tid, t_end, outcome)
         if outcome == OUT_PAUSE:
-            self.sim.schedule(t_end, self.dispatch_event, None, priority=2)
+            # Inlined sim.schedule (priority 2): one dispatch per burst
+            # makes the method-call overhead measurable.
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (t_end, 2, seq, self.dispatch_event, None))
         else:
             self._schedule_next(t_end)
 
@@ -187,18 +199,24 @@ class Processor:
         it if necessary (optimal under ordered delivery, Section 3)."""
         threads = self.threads
         count = len(threads)
-        for step in range(1, count + 1):
-            index = (self.cur + step) % count
+        index = self.cur + 1
+        if index == count:
+            index = 0
+        for _ in range(count):
             thread = threads[index]
-            if thread.halted:
-                continue
-            self.cur = index
-            when = thread.resume_time
-            if when < t:
-                when = t
-            self.idle_cycles += when - t
-            self.sim.schedule(when, self.dispatch_event, None, priority=2)
-            return
+            if not thread.halted:
+                self.cur = index
+                when = thread.resume_time
+                if when < t:
+                    when = t
+                self.idle_cycles += when - t
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (when, 2, seq, self.dispatch_event, None))
+                return
+            index += 1
+            if index == count:
+                index = 0
         # All threads on this processor have halted; the processor stops.
 
     def nack(self, time: int, tid: int, txn: int, ftxn: int, attempt: int) -> int:
@@ -656,7 +674,9 @@ class Processor:
 
         if outcome == OUT_SWITCH:
             stats.switches += 1
-            stats.record_run(run0 + t)
+            run = run0 + t  # inlined stats.record_run
+            if run > 0:
+                stats.run_lengths[run] += 1
             thread.run_cycles = 0
             thread.resume_time = resume
             if tracer is not None:
@@ -684,23 +704,18 @@ class Processor:
 
         Implemented by running the main interpreter with a one-cycle
         deadline so exactly one instruction executes, then forcing a
-        rotation.  Shared loads behave like switch-on-load.
+        rotation.  Shared loads behave like switch-on-load.  (The
+        model/burst-limit rewrite happened once, in ``__init__``.)
         """
-        saved_limit = self.burst_limit
-        saved_model = self.model
-        self.burst_limit = 1
-        self.model = M_SOL
-        try:
-            outcome, t_end = self._burst(thread, now)
-        finally:
-            self.burst_limit = saved_limit
-            self.model = saved_model
+        outcome, t_end = self._burst(thread, now)
         if outcome == OUT_PAUSE:
             # The single instruction completed without a model switch:
             # convert the artificial pause into a taken rotation.
             stats = self.sim.stats
             stats.switches += 1
-            stats.record_run(thread.run_cycles)
+            run = thread.run_cycles  # inlined stats.record_run
+            if run > 0:
+                stats.run_lengths[run] += 1
             thread.run_cycles = 0
             thread.resume_time = t_end
             tracer = self.sim.tracer

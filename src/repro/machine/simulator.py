@@ -25,6 +25,7 @@ timestamp order.
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from typing import Callable, List, Optional, Sequence
 
 from repro.faults import build_fault_plan, build_latency_model
@@ -127,6 +128,7 @@ class Simulator:
         thread_registers: Sequence[dict],
         local_size: int = 0,
         tracer: Optional[Tracer] = None,
+        backend: Optional[str] = None,
     ):
         if not program.finalized:
             raise ValueError("program must be finalized before simulation")
@@ -152,6 +154,7 @@ class Simulator:
 
         from repro.machine.processor import Processor  # circular-import guard
         from repro.machine.cache import OneLineCache
+        from repro.jit import resolve_backend
 
         self.directory: Optional[Directory] = None
         if config.model.uses_cache:
@@ -164,44 +167,69 @@ class Simulator:
                 OneLineCache(config.oracle_line_words) for _ in self.threads
             ]
 
-        self.processors: List[Processor] = []
-        per = config.threads_per_processor
-        for pid in range(config.num_processors):
-            group = self.threads[pid * per : (pid + 1) * per]
-            cache = Cache(config.cache) if config.model.uses_cache else None
-            self.processors.append(Processor(self, pid, group, cache))
-
-        self._heap: List = []
-        self._seq = 0
-        self.now = 0
-        self.live_threads = len(self.threads)
-        self.last_halt_time = 0
         #: The probe sink (None = tracing off).  The disabled-overhead
         #: contract: a tracer whose ``enabled`` flag is false is dropped
         #: *here*, so every hot path pays exactly one ``is not None``
-        #: check and nothing else when tracing is off.
+        #: check and nothing else when tracing is off.  Normalized before
+        #: the processors exist: the compiled backend specializes its
+        #: generated code on whether a tracer is attached.
         if tracer is not None and not tracer.enabled:
             tracer = None
         if tracer is None and config.record_timeline:
             tracer = TimelineTracer()
         self.tracer: Optional[Tracer] = tracer
+
+        #: Which execution backend runs the bursts.  Backends are
+        #: bit-identical by contract, so this is *not* part of
+        #: MachineConfig (and never reaches config keys, golden fixtures
+        #: or cache payloads) — it only selects the processor class.
+        self._heap: List = []
+        self._seq = 0
+        self.now = 0
+        self.live_threads = len(self.threads)
+        self.last_halt_time = 0
         self._jitter_range = config.latency_jitter
         #: Fault injection (repro.faults).  Both stay ``None`` for the
         #: constant-latency, fault-free machine, keeping every memory
         #: path on its original arithmetic — the zero-perturbation
         #: contract mirrors the tracer's: one ``is None`` check per issue.
+        #: Resolved before the processors exist: the compiled backend
+        #: specializes its generated code on whether a plan is active.
         self.fault_config = config.faults
         self._latency_model = None
         self._fault_plan = None
         if config.faults is not None:
             self._latency_model = build_latency_model(config.faults, config.latency)
             self._fault_plan = build_fault_plan(config.faults)
+        #: Constant round trip for the common (no fault model, no jitter)
+        #: machine, or None when _round_trip must actually be consulted —
+        #: saves two Python calls per memory transaction on hot paths.
+        self._fixed_rt = (
+            self.latency
+            if self._latency_model is None and not self._jitter_range
+            else None
+        )
+        #: Hoisted cache-line geometry for per-transaction arithmetic.
+        self._line_words = line_words
         #: Fault-transaction sequence (ids feed the FaultPlan hashes).
         self._txn_seq = 0
         #: Fetch-and-Add idempotent-replay buffer: fault txn id -> the
         #: old value returned by the (single) application at memory.
         #: Populated only when an FAA reply is lost, drained on delivery.
         self._faa_replay = {}
+
+        self.backend = resolve_backend(backend)
+        if self.backend == "compiled":
+            from repro.jit.driver import CompiledProcessor as processor_cls
+        else:
+            processor_cls = Processor
+
+        self.processors: List[Processor] = []
+        per = config.threads_per_processor
+        for pid in range(config.num_processors):
+            group = self.threads[pid * per : (pid + 1) * per]
+            cache = Cache(config.cache) if config.model.uses_cache else None
+            self.processors.append(processor_cls(self, pid, group, cache))
 
     @property
     def timeline(self) -> Optional[List]:
@@ -344,7 +372,8 @@ class Simulator:
         kind = MsgKind.READ if nwords == 1 else MsgKind.READ2
         self.stats.count_message(kind, sync)
         self.stats.mem_issued += 1
-        ready = time + self._round_trip(time, addr)
+        rt = self._fixed_rt
+        ready = time + (rt if rt is not None else self._round_trip(time, addr))
         txn = 0
         if self.tracer is not None:
             txn = self.tracer.mem_issue(
@@ -357,11 +386,11 @@ class Simulator:
         if ready > thread.pending_until:
             thread.pending_until = ready
         if self._fault_plan is None:
-            self.schedule(
-                time + self.half_latency,
-                self._load_event,
-                (addr, nwords, thread, dest, ready, txn),
-            )
+            # Inlined self.schedule — this is the hottest event source.
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (time + self.half_latency, 0, seq,
+                                  self._load_event,
+                                  (addr, nwords, thread, dest, ready, txn)))
             return
         self._txn_seq += 1
         self.schedule(
@@ -373,9 +402,20 @@ class Simulator:
     def _load_event(self, time: int, arg) -> None:
         addr, nwords, thread, dest, ready, txn = arg
         self.stats.mem_completed += 1
-        thread.deliver(dest, self.shared[addr], ready)
+        # Inlined thread.deliver (the hottest completion path): write the
+        # register and clear the scoreboard slot only when this response
+        # is the one the marker waits for (see ThreadContext.deliver).
+        shared = self.shared
+        inflight = thread.inflight
+        if dest:
+            thread.regs[dest] = shared[addr]
+        if inflight.get(dest) == ready:
+            del inflight[dest]
         if nwords == 2:
-            thread.deliver(dest + 1, self.shared[addr + 1], ready)
+            dest += 1  # dest + 1 >= 1, so the r0 drop can't apply
+            thread.regs[dest] = shared[addr + 1]
+            if inflight.get(dest) == ready:
+                del inflight[dest]
         if self.tracer is not None:
             self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
 
@@ -460,20 +500,25 @@ class Simulator:
         if self.tracer is not None:
             pid = self._pid_of(tid) if tid >= 0 else -1
             self.tracer.mem_issue(time, pid, tid, kind.name, addr, self.half_latency)
-        self.schedule(time + self.half_latency, self._store_event, (addr, values))
+        self._seq = seq = self._seq + 1  # inlined self.schedule
+        heappush(self._heap, (time + self.half_latency, 0, seq,
+                              self._store_event, (addr, values)))
 
     def _store_event(self, time: int, arg) -> None:
         addr, values = arg
         shared = self.shared
-        for offset, value in enumerate(values):
-            shared[addr + offset] = value
+        shared[addr] = values[0]
+        nvals = len(values)
+        if nvals > 1:
+            shared[addr + 1] = values[1]
         if self.directory is not None:
-            lines = {
-                (addr + offset) // self.config.cache.line_words
-                for offset in range(len(values))
-            }
-            for line in lines:
-                self._invalidate_sharers(time, line, writer=-1)
+            line_words = self._line_words
+            first = addr // line_words
+            self._invalidate_sharers(time, first, writer=-1)
+            if nvals > 1:
+                last = (addr + nvals - 1) // line_words
+                if last != first:
+                    self._invalidate_sharers(time, last, writer=-1)
 
     def mem_faa(
         self,
@@ -487,7 +532,8 @@ class Simulator:
         """Fetch-and-Add: atomic at the memory module (combining network)."""
         self.stats.count_message(MsgKind.FAA, sync)
         self.stats.mem_issued += 1
-        ready = time + self._round_trip(time, addr)
+        rt = self._fixed_rt
+        ready = time + (rt if rt is not None else self._round_trip(time, addr))
         txn = 0
         if self.tracer is not None:
             txn = self.tracer.mem_issue(
@@ -498,11 +544,10 @@ class Simulator:
         if ready > thread.pending_until:
             thread.pending_until = ready
         if self._fault_plan is None:
-            self.schedule(
-                time + self.half_latency,
-                self._faa_event,
-                (addr, thread, dest, addend, ready, txn),
-            )
+            self._seq = seq = self._seq + 1  # inlined self.schedule
+            heappush(self._heap, (time + self.half_latency, 0, seq,
+                                  self._faa_event,
+                                  (addr, thread, dest, addend, ready, txn)))
             return
         self._txn_seq += 1
         self.schedule(
@@ -623,11 +668,17 @@ class Simulator:
         The requested words are delivered to the thread when the last
         involved line has been installed.
         """
-        line_words = self.config.cache.line_words
+        line_words = self._line_words
         proc = self.processors[pid]
-        lines = sorted({(addr + offset) // line_words for offset in range(nwords)})
+        first = addr // line_words
+        if nwords == 1:
+            lines = (first,)
+        else:
+            last = (addr + nwords - 1) // line_words
+            lines = (first,) if last == first else (first, last)
         ready = 0
         issued = 0
+        rt = self._fixed_rt
         for line in lines:
             pending = proc.mshr.get(line)
             if pending is not None:
@@ -635,7 +686,8 @@ class Simulator:
                 continue
             if proc.cache.contains(line * line_words):
                 continue
-            fill_ready = time + self._round_trip(time, line)
+            fill_ready = time + (rt if rt is not None
+                                 else self._round_trip(time, line))
             proc.mshr[line] = fill_ready
             issued += 1
             self.stats.count_message(MsgKind.LINE_READ, sync)
@@ -675,7 +727,7 @@ class Simulator:
 
     def _line_read_event(self, time: int, arg) -> None:
         line, pid, fill_ready, txn = arg
-        line_words = self.config.cache.line_words
+        line_words = self._line_words
         base = line * line_words
         data = list(self.shared[base : base + line_words])
         self.directory.add_sharer(line, pid)
@@ -816,12 +868,17 @@ class Simulator:
     def _write_through_event(self, time: int, arg) -> None:
         addr, values = arg
         shared = self.shared
-        for offset, value in enumerate(values):
-            shared[addr + offset] = value
-        line_words = self.config.cache.line_words
-        lines = {(addr + offset) // line_words for offset in range(len(values))}
-        for line in lines:
-            self._invalidate_sharers(time, line, writer=-1)
+        shared[addr] = values[0]
+        nvals = len(values)
+        if nvals > 1:
+            shared[addr + 1] = values[1]
+        line_words = self._line_words
+        first = addr // line_words
+        self._invalidate_sharers(time, first, writer=-1)
+        if nvals > 1:
+            last = (addr + nvals - 1) // line_words
+            if last != first:
+                self._invalidate_sharers(time, last, writer=-1)
 
     def _invalidate_sharers(self, time: int, line: int, writer: int) -> None:
         for victim in self.directory.invalidate_others(line, writer):

@@ -24,6 +24,8 @@ from typing import Dict, List
 from repro.machine.network import MsgKind, transaction_bits
 from repro.machine.config import NetworkConfig
 
+_KINDS = tuple(MsgKind)
+
 
 class SimStats:
     """Mutable statistics accumulator for one simulation."""
@@ -45,7 +47,13 @@ class SimStats:
         self.switch_overhead_cycles = 0
         self.run_lengths: Counter = Counter()
 
-        self.msg_counts: Counter = Counter()
+        # Backing store for :attr:`msg_counts`: a dense list indexed by
+        # ``MsgKind.index`` plus precomputed per-kind transaction bits,
+        # so the per-message hot path does no enum hashing and no
+        # ``transaction_bits`` call.
+        self._msg_counts: List[int] = [0] * len(_KINDS)
+        self._bits = [transaction_bits(kind, network, line_words)
+                      for kind in _KINDS]
         self.fwd_bits = 0
         self.ret_bits = 0
         self.sync_msgs = 0
@@ -89,14 +97,29 @@ class SimStats:
 
     def count_message(self, kind: MsgKind, sync: bool) -> None:
         """Charge one transaction's forward+return bits."""
-        fwd, ret = transaction_bits(kind, self._network, self._line_words)
+        fwd, ret = self._bits[kind.index]
         if sync:
             self.sync_msgs += 1
             self.sync_bits += fwd + ret
             return
-        self.msg_counts[kind] += 1
+        self._msg_counts[kind.index] += 1
         self.fwd_bits += fwd
         self.ret_bits += ret
+
+    @property
+    def msg_counts(self) -> Counter:
+        """Per-:class:`MsgKind` message counts (zero counts omitted)."""
+        counts = self._msg_counts
+        return Counter(
+            {kind: counts[kind.index] for kind in _KINDS if counts[kind.index]}
+        )
+
+    @msg_counts.setter
+    def msg_counts(self, value) -> None:
+        counts = [0] * len(_KINDS)
+        for kind, count in dict(value).items():
+            counts[kind.index] = count
+        self._msg_counts = counts
 
     # -- derived quantities -----------------------------------------------------
 
@@ -163,10 +186,11 @@ class SimStats:
     def grouping_factor(self) -> float:
         """Mean shared loads issued per taken context switch ("level of
         grouping" in Table 4).  Uses value-returning transactions only."""
+        counts = self._msg_counts
         loads = (
-            self.msg_counts[MsgKind.READ]
-            + self.msg_counts[MsgKind.READ2]
-            + self.msg_counts[MsgKind.FAA]
+            counts[MsgKind.READ.index]
+            + counts[MsgKind.READ2.index]
+            + counts[MsgKind.FAA.index]
             + self.cache_hits
             + self.cache_misses
             + self.oracle_hits

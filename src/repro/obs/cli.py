@@ -46,6 +46,7 @@ def _cmd_run(args) -> int:
         scale=spec.scale,
         latency=spec.effective_latency,
         tracer=tracer,
+        backend=spec.backend,
         **dict(spec.overrides),
     )
     if args.check:

@@ -6,8 +6,8 @@ simulated process, and sets the convention registers — ``r4`` thread id,
 ``r5`` thread count, ``r6`` argument-block base — before the machine
 starts at cycle zero.
 
-(Current home of what ``repro.runtime.loader`` used to export; prefer
-the :mod:`repro.api` facade for new code.)
+(Current home of what ``repro.runtime.loader`` used to export — that
+module is gone; prefer the :mod:`repro.api` facade for new code.)
 """
 
 from __future__ import annotations
@@ -29,14 +29,18 @@ def make_simulator(
     config: MachineConfig,
     program: "Program | None" = None,
     tracer: Optional[Tracer] = None,
+    backend: Optional[str] = None,
 ) -> Simulator:
     """Build a ready-to-run simulator for *app* on *config*.
 
     *program* overrides the application's original code (pass the output
     of :func:`repro.compiler.prepare_for_model` to run transformed code).
     *tracer* attaches a :mod:`repro.obs` probe (see
-    :class:`~repro.obs.tracer.RingTracer`).  The application must have
-    been built for ``config.total_threads`` threads.
+    :class:`~repro.obs.tracer.RingTracer`).  *backend* picks the
+    execution backend (see :mod:`repro.jit`); backends are bit-identical
+    by contract, so the choice affects wall-clock speed only.  The
+    application must have been built for ``config.total_threads``
+    threads.
     """
     if app.nthreads != config.total_threads:
         raise ValueError(
@@ -56,6 +60,7 @@ def make_simulator(
         thread_registers,
         local_size=app.local_size,
         tracer=tracer,
+        backend=backend,
     )
 
 
@@ -65,9 +70,10 @@ def run_app(
     program: "Program | None" = None,
     check: bool = True,
     tracer: Optional[Tracer] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate *app* on *config* and (by default) verify its result."""
-    result = make_simulator(app, config, program, tracer=tracer).run()
+    result = make_simulator(app, config, program, tracer=tracer, backend=backend).run()
     if check and app.check is not None:
         app.check(result.shared)
     return result

@@ -1,31 +1,14 @@
-"""Deprecated module — the loader now lives in :mod:`repro.runtime.execution`.
+"""Removed module — the loader lives in :mod:`repro.runtime.execution`.
 
-Importing :func:`make_simulator`/:func:`run_app` from here still works
-but emits a :class:`DeprecationWarning`; new code should call
-:func:`repro.api.simulate` (registered applications) or
-:mod:`repro.runtime.execution` (custom ``BuiltApp`` objects).
+``repro.runtime.loader`` spent one release as a ``DeprecationWarning``
+shim; it now fails fast so stale imports surface at import time instead
+of silently forwarding forever.
 """
 
 from __future__ import annotations
 
-import warnings
-
-from repro.runtime import execution as _execution
-
-_FORWARDED = ("make_simulator", "run_app")
-
-
-def __getattr__(name):
-    if name in _FORWARDED:
-        warnings.warn(
-            f"repro.runtime.loader.{name} is deprecated; use "
-            f"repro.api.simulate or repro.runtime.execution.{name}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(_execution, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(list(globals()) + list(_FORWARDED))
+raise ImportError(
+    "repro.runtime.loader was removed; use repro.api.simulate for "
+    "registered applications or repro.runtime.execution "
+    "(make_simulator / run_app) for custom BuiltApp objects"
+)

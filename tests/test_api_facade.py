@@ -1,4 +1,4 @@
-"""The repro.api facade and the deprecation shims over the old paths."""
+"""The repro.api facade and the hard failures over the removed paths."""
 
 import pytest
 
@@ -73,40 +73,90 @@ def test_sweep_rejects_garbage():
 
 
 def test_top_level_exports():
-    for name in ("simulate", "sweep", "list_apps", "list_models", "RunSpec",
-                 "Engine", "ResultCache", "SwitchModel", "MachineConfig",
-                 "SimulationResult", "SimStats"):
+    for name in ("simulate", "sweep", "backends", "list_apps", "list_models",
+                 "RunSpec", "Engine", "ResultCache", "SwitchModel",
+                 "MachineConfig", "SimulationResult", "SimStats"):
         assert hasattr(repro, name), name
 
 
-# -- deprecation shims --------------------------------------------------------
+# -- execution backends -------------------------------------------------------
 
 
-def test_loader_shim_warns_and_works():
-    import repro.runtime.loader as loader
-
-    with pytest.deprecated_call(match="repro.runtime.loader.run_app"):
-        run_app = loader.run_app
-    from repro.runtime.execution import run_app as canonical
-    assert run_app is canonical
-    with pytest.deprecated_call():
-        loader.make_simulator
-    with pytest.raises(AttributeError):
-        loader.not_a_thing
+def test_backends_listing():
+    infos = repro.backends()
+    assert [info["name"] for info in infos] == [
+        "interpreter", "compiled", "auto"
+    ]
+    assert all(info["available"] for info in infos)
+    assert [info["name"] for info in infos if info["default"]] == [
+        "interpreter"
+    ]
 
 
-def test_experiment_shim_warns_and_works():
-    import repro.harness.experiment as experiment
+def test_simulate_backend_choices_are_bit_identical():
+    kwargs = dict(model="switch-on-load", processors=2, level=2, scale="tiny")
+    reference = simulate("sieve", **kwargs).stats.to_dict()
+    for backend in ("interpreter", "compiled", "auto"):
+        assert simulate(
+            "sieve", backend=backend, **kwargs
+        ).stats.to_dict() == reference, backend
+    with pytest.raises(ValueError, match="unknown backend"):
+        simulate("sieve", backend="bogus", **kwargs)
 
-    with pytest.deprecated_call(match="ExperimentContext is deprecated"):
-        shimmed = experiment.ExperimentContext
-    from repro.harness import ExperimentContext
-    assert shimmed is ExperimentContext
-    with pytest.raises(AttributeError):
-        experiment.not_a_thing
+
+def test_engine_counts_executions_per_backend():
+    """Every execution is attributed to the backend that ran it — a
+    mixed sweep reports both, and the summary line surfaces them."""
+    from repro.engine import Engine
+
+    specs = [
+        RunSpec(app="sieve", model="switch-on-load", processors=2, level=2,
+                scale="tiny"),
+        RunSpec(app="sor", model="switch-on-load", processors=2, level=2,
+                scale="tiny", backend="interpreter"),
+    ]
+    with Engine(backend="compiled") as engine:
+        engine.run_many(specs)
+        report = engine.report()
+        summary = engine.summary_line()
+    assert report["executed"] == 2
+    assert report["executed_by_backend"] == {"compiled": 1, "interpreter": 1}
+    assert "1 compiled" in summary and "1 interpreter" in summary
 
 
-def test_new_imports_do_not_warn(recwarn):
+def test_cache_entries_are_shared_across_backends(tmp_path):
+    """A result simulated by one backend answers the other: the cache
+    key ignores the backend field (bit-identical contract)."""
+    from repro.engine import Engine
+
+    spec = RunSpec(app="sieve", model="switch-on-load", processors=2,
+                   level=2, scale="tiny")
+    with Engine(cache=str(tmp_path), backend="interpreter") as warm:
+        first = warm.run(spec)
+        assert warm.report()["executed_by_backend"] == {"interpreter": 1}
+    with Engine(cache=str(tmp_path), backend="compiled") as engine:
+        second = engine.run(spec)
+        report = engine.report()
+    assert report["executed"] == 0 and report["cached"] == 1
+    assert second.stats.to_dict() == first.stats.to_dict()
+
+
+# -- removed modules ----------------------------------------------------------
+
+
+def test_loader_module_is_removed():
+    """The one-release DeprecationWarning shim is now a hard failure
+    that names the replacements."""
+    with pytest.raises(ImportError, match=r"repro\.runtime\.execution"):
+        import repro.runtime.loader  # noqa: F401
+
+
+def test_experiment_module_is_removed():
+    with pytest.raises(ImportError, match=r"repro\.harness"):
+        import repro.harness.experiment  # noqa: F401
+
+
+def test_canonical_imports_do_not_warn(recwarn):
     import warnings
 
     with warnings.catch_warnings():

@@ -63,6 +63,28 @@ def test_runspec_key_covers_latency_and_overrides():
     assert len(keys) == 5  # every dimension distinguishes the hash
 
 
+def test_runspec_key_ignores_backend():
+    """The backend is an execution strategy, not result identity: every
+    backend spelling hashes to the same cache key (so a warm interpreter
+    cache serves compiled requests and vice versa), and the key recorded
+    *before* the backend field existed must not have moved."""
+    base = RunSpec(app="sieve", model="switch-on-use", processors=2,
+                   level=4, scale="tiny")
+    keys = {
+        base.key(),
+        dataclasses.replace(base, backend="interpreter").key(),
+        dataclasses.replace(base, backend="compiled").key(),
+        dataclasses.replace(base, backend="auto").key(),
+    }
+    assert keys == {"225330b90f6c27ab2d4cd00c77c47b0b"}  # pre-backend hash
+    # ...but the backend still travels on the wire (serve submits need it).
+    wire = dataclasses.replace(base, backend="compiled").to_dict()
+    assert wire["backend"] == "compiled"
+    assert RunSpec.from_dict(wire).backend == "compiled"
+    with pytest.raises(ValueError, match="unknown backend"):
+        RunSpec(app="sieve", backend="bogus")
+
+
 def test_runspec_create_normalizes_spellings():
     via_alias = RunSpec.create(
         "sor", model="switch-on-load", num_processors=2,
