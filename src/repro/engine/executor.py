@@ -39,6 +39,8 @@ from repro.engine.spec import RunSpec
 from repro.jit import resolve_backend
 from repro.machine.simulator import SimulationResult, SimulationTimeout
 from repro.obs.runlog import RunLogWriter, peak_rss_kb
+from repro.obs.spans import SpanContext, SpanRecorder, new_span_id, new_trace_id
+from repro.obs.spans import active as active_spans
 
 ProgressFn = Callable[[Dict], None]
 
@@ -68,20 +70,39 @@ def _build(app_name: str, nthreads: int, code_model: str, scale: str,
     return app, program
 
 
-def execute_spec(
-    spec: RunSpec, include_shared: bool = False, lint: bool = False
-) -> Dict:
-    """Simulate one spec and return its payload dictionary.
+def _execute_payload(
+    spec: RunSpec,
+    include_shared: bool = False,
+    lint: bool = False,
+    span_context=None,
+) -> Tuple[Optional[SimulationResult], Dict]:
+    """Simulate one spec; returns ``(live result | None, payload)``.
 
-    Runs in worker processes (top-level so it pickles) and in-process for
-    the serial path.  Never raises: failures come back as
-    ``{"error": {...}}`` payloads so a pool future cannot poison the
-    whole sweep.
+    The single execution funnel behind both the pool worker
+    (:func:`execute_spec`) and the in-process serial path.  Never
+    raises: failures come back as ``{"error": {...}}`` payloads.
+
+    *span_context* is a ``(trace_id, parent_span_id)`` pair — the
+    submitting request's trace crossing the ``ProcessPoolExecutor``
+    boundary.  When present, the worker opens a ``simulate`` span
+    parented on it (children: ``build``, ``jit-compile``, ``run``) and
+    ships the finished spans back inside the payload under ``"spans"``
+    for the parent-side recorder to absorb.
     """
     from repro.runtime.execution import run_app
 
+    recorder = simulate_span = None
+    if span_context is not None:
+        recorder = SpanRecorder(capacity=None)
+        simulate_span = recorder.start(
+            "simulate",
+            parent=tuple(span_context),
+            attributes={"spec": spec.label(), "worker": os.getpid()},
+        )
     start = time.perf_counter()
     try:
+        if recorder is not None:
+            build_span = recorder.start("build", parent=simulate_span)
         app, program = _build(
             spec.app,
             spec.total_threads,
@@ -89,18 +110,47 @@ def execute_spec(
             spec.scale,
             lint,
         )
+        if recorder is not None:
+            from repro.jit import compile_seconds_for
+
+            recorder.finish(build_span)
+            compile_before = compile_seconds_for(program)
+            run_span = recorder.start(
+                "run",
+                parent=simulate_span,
+                attributes={"backend": resolve_backend(spec.backend)},
+            )
         result = run_app(
             app, spec.machine_config(), program=program, backend=spec.backend
         )
-        return {
+        if recorder is not None:
+            recorder.finish(run_span)
+            # Lazy block compilation happens *inside* the run; the delta
+            # of the program's accumulator splits compile-vs-run out as
+            # sibling spans (the compile span overlaps its run sibling).
+            compile_delta = compile_seconds_for(program) - compile_before
+            if compile_delta > 0.0:
+                jit_span = recorder.start(
+                    "jit-compile",
+                    parent=simulate_span,
+                    start=run_span.start,
+                    attributes={"accumulated": True},
+                )
+                jit_span.end = run_span.start + compile_delta
+                recorder.record(jit_span)
+            recorder.finish(simulate_span)
+        payload = {
             "spec": spec.to_dict(),
             "result": result.to_dict(include_shared=include_shared),
             "elapsed": time.perf_counter() - start,
             "worker": os.getpid(),
             "peak_rss_kb": peak_rss_kb(),
         }
+        if recorder is not None:
+            payload["spans"] = [span.to_dict() for span in recorder.spans()]
+        return result, payload
     except Exception as error:  # noqa: BLE001 — must cross process boundary
-        return {
+        payload = {
             "spec": spec.to_dict(),
             # The spec label makes the payload triageable from the
             # runlog alone (which app/model/shape failed, not just why).
@@ -112,6 +162,25 @@ def execute_spec(
             "worker": os.getpid(),
             "peak_rss_kb": peak_rss_kb(),
         }
+        if recorder is not None:
+            recorder.finish(simulate_span, status="error")
+            payload["spans"] = [span.to_dict() for span in recorder.spans()]
+        return None, payload
+
+
+def execute_spec(
+    spec: RunSpec,
+    include_shared: bool = False,
+    lint: bool = False,
+    span_context=None,
+) -> Dict:
+    """Simulate one spec and return its payload dictionary.
+
+    Runs in worker processes (top-level so it pickles) and in-process for
+    the serial path; see :func:`_execute_payload` for the semantics.
+    """
+    _live, payload = _execute_payload(spec, include_shared, lint, span_context)
+    return payload
 
 
 def _raise_payload_error(error: Dict) -> None:
@@ -154,6 +223,12 @@ class Engine:
         ``None`` (default) defers to the global default.  Backends are
         bit-identical, so this only changes wall-clock speed — never
         results, and never cache keys.
+    :param spans: a :class:`~repro.obs.spans.SpanRecorder` receiving
+        wall-clock stage spans (cache-lookup / dispatch / simulate /
+        deserialize) per resolved spec.  Disabled recorders are
+        normalised to ``None`` (the tracer contract), so the default
+        costs one ``is not None`` check per stage.  Spans never enter
+        the result cache — payloads are stripped before persisting.
     """
 
     def __init__(
@@ -165,11 +240,16 @@ class Engine:
         runlog: Union[str, Path, bool, None] = None,
         lint: bool = False,
         backend: Optional[str] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.lint = lint
+        self.spans = active_spans(spans)
+        #: Trace context engine-emitted spans parent under (set per
+        #: :meth:`run_many` call via its ``trace`` argument).
+        self._trace = None
         if backend is not None:
             resolve_backend(backend)  # reject unknown spellings up front
         self.backend = backend
@@ -374,6 +454,11 @@ class Engine:
     ) -> Optional[SimulationResult]:
         """Fold one payload into the memo + counters; returns the restored
         result, or ``None`` (and records the failure) for error payloads."""
+        recorder = self.spans
+        if recorder is not None and payload.get("spans"):
+            # Worker-side spans came back inside the payload; they
+            # already carry the submitting request's trace id.
+            recorder.absorb(payload["spans"])
         elapsed = float(payload.get("elapsed", 0.0))
         self._wall_time += elapsed if source == "run" else 0.0
         if "error" in payload:
@@ -382,7 +467,14 @@ class Engine:
             self._log_run(spec, key, payload, "failed", None)
             self._notify(spec, "failed", elapsed, total)
             return None
+        if recorder is not None:
+            deserialize_span = recorder.start(
+                "deserialize", parent=self._trace,
+                attributes={"spec": spec.label(), "source": source},
+            )
         result = SimulationResult.from_dict(payload["result"])
+        if recorder is not None:
+            recorder.finish(deserialize_span)
         self._memo[key] = result
         if source == "run":
             self._counts["executed"] += 1
@@ -402,6 +494,14 @@ class Engine:
 
     def _persist(self, key: str, payload: Dict) -> None:
         if self.cache is not None:
+            if "spans" in payload:
+                # Spans are per-request wall-clock telemetry, not part
+                # of the result: cached payloads must stay byte-stable
+                # regardless of who asked with tracing on.
+                payload = {
+                    name: value for name, value in payload.items()
+                    if name != "spans"
+                }
             self.cache.put(key, payload)
 
     # -- execution -------------------------------------------------------------
@@ -414,14 +514,42 @@ class Engine:
 
     def run(self, spec: RunSpec) -> SimulationResult:
         """Execute (or recall) one spec; raises on failure."""
+        saved = self._trace
+        if self.spans is not None and saved is None:
+            # No ambient trace: root a fresh one so this call's spans
+            # (cache-lookup, dispatch, simulate...) share a trace id.
+            self._trace = SpanContext(new_trace_id(), new_span_id())
+        try:
+            return self._run_one(spec)
+        finally:
+            self._trace = saved
+
+    def _run_one(self, spec: RunSpec) -> SimulationResult:
         spec = self._effective(spec)
         key = spec.key()
+        recorder = self.spans
+        lookup = (
+            recorder.start(
+                "cache-lookup", parent=self._trace,
+                attributes={"spec": spec.label()},
+            )
+            if recorder is not None
+            else None
+        )
         if key in self._memo:
             self._counts["memo_hits"] += 1
+            if lookup is not None:
+                recorder.finish(lookup.set(outcome="memo"))
             return self._memo[key]
         if key in self._failures:
+            if lookup is not None:
+                recorder.finish(lookup.set(outcome="memo"))
             _raise_payload_error(self._failures[key])
         payload = self._from_disk(key)
+        if lookup is not None:
+            recorder.finish(
+                lookup.set(outcome="hit" if payload is not None else "miss")
+            )
         if payload is not None:
             result = self._absorb(spec, key, payload, "cached", total=1)
             if result is None:
@@ -444,40 +572,25 @@ class Engine:
     def _execute_local(
         self, spec: RunSpec
     ) -> Tuple[Optional[SimulationResult], Dict]:
-        """In-process execution returning (live result | None, payload)."""
-        from repro.runtime.execution import run_app
+        """In-process execution returning (live result | None, payload).
 
-        start = time.perf_counter()
-        try:
-            app, program = _build(
-                spec.app,
-                spec.total_threads,
-                spec.effective_code_model.value,
-                spec.scale,
-                self.lint,
-            )
-            result = run_app(
-                app, spec.machine_config(), program=program,
-                backend=spec.backend,
-            )
-        except Exception as error:  # noqa: BLE001 — uniform failure payloads
-            return None, {
-                "spec": spec.to_dict(),
-                "error": {
-                    "type": type(error).__name__,
-                    "message": f"{spec.label()}: {error}",
-                },
-                "elapsed": time.perf_counter() - start,
-                "worker": os.getpid(),
-                "peak_rss_kb": peak_rss_kb(),
-            }
-        return result, {
-            "spec": spec.to_dict(),
-            "result": result.to_dict(),
-            "elapsed": time.perf_counter() - start,
-            "worker": os.getpid(),
-            "peak_rss_kb": peak_rss_kb(),
-        }
+        When spans are recording, the execution is wrapped in a
+        ``dispatch`` span exactly like a pool submission, so serial and
+        pooled runs produce the same span tree shape.
+        """
+        recorder = self.spans
+        if recorder is None:
+            return _execute_payload(spec, lint=self.lint)
+        dispatch = recorder.start(
+            "dispatch", parent=self._trace,
+            attributes={"spec": spec.label(), "mode": "serial"},
+        )
+        live, payload = _execute_payload(
+            spec, lint=self.lint,
+            span_context=(dispatch.trace_id, dispatch.span_id),
+        )
+        recorder.finish(dispatch, status="ok" if "error" not in payload else "error")
+        return live, payload
 
     def _run_serial_one(self, spec: RunSpec, key: str, total: int) -> None:
         live, payload = self._execute_local(spec)
@@ -517,23 +630,36 @@ class Engine:
                 for index, spec, key in remaining:
                     self._run_serial_one(spec, key, total)
                 return
+            recorder = self.spans
             submitted = []
             for index, spec, key in remaining:
-                # Extra args only when linting: test doubles (and older
-                # pickled workers) keep the plain (spec) signature.
-                if self.lint:
+                # Extra args only when spans/linting are on: test doubles
+                # (and older pickled workers) keep the plain (spec)
+                # signature.
+                if recorder is not None:
+                    dispatch = recorder.start(
+                        "dispatch", parent=self._trace,
+                        attributes={"spec": spec.label(), "mode": "pool"},
+                    )
+                    future = pool.submit(
+                        execute_spec, spec, False, self.lint,
+                        (dispatch.trace_id, dispatch.span_id),
+                    )
+                elif self.lint:
+                    dispatch = None
                     future = pool.submit(execute_spec, spec, False, True)
                 else:
+                    dispatch = None
                     future = pool.submit(execute_spec, spec)
                 deadline = (
                     time.monotonic() + self.timeout
                     if self.timeout is not None
                     else None
                 )
-                submitted.append((index, spec, key, future, deadline))
+                submitted.append((index, spec, key, future, deadline, dispatch))
             leftovers: List[Tuple[int, RunSpec, str]] = []
             broken = False
-            for index, spec, key, future, deadline in submitted:
+            for index, spec, key, future, deadline, dispatch in submitted:
                 try:
                     budget = (
                         None
@@ -543,6 +669,8 @@ class Engine:
                     payload = future.result(timeout=budget)
                 except concurrent.futures.TimeoutError:
                     future.cancel()
+                    if dispatch is not None:
+                        recorder.finish(dispatch, status="timeout")
                     payload = {
                         "spec": spec.to_dict(),
                         "error": {
@@ -564,9 +692,16 @@ class Engine:
                 ):
                     # The pool died under this spec (or cancelled it
                     # while dying); queue it for the retry round.
+                    if dispatch is not None:
+                        recorder.finish(dispatch, status="retry")
                     broken = True
                     leftovers.append((index, spec, key))
                     continue
+                if dispatch is not None:
+                    recorder.finish(
+                        dispatch,
+                        status="ok" if "error" not in payload else "error",
+                    )
                 self._persist(key, payload)
                 self._absorb(spec, key, payload, "run", total)
             if not leftovers:
@@ -596,6 +731,7 @@ class Engine:
         on_error: str = "raise",
         progress: Union[ProgressFn, None, bool] = False,
         timeout: Union[float, None, bool] = False,
+        trace=None,
     ) -> List[Optional[SimulationResult]]:
         """Execute a sweep; results come back in input order.
 
@@ -608,18 +744,26 @@ class Engine:
         this call only (``False``, the default, means "inherit"; ``None``
         disables) — the hook long-lived callers (the serve scheduler)
         use to give each batch its own deadline and progress sink.
+
+        *trace* is an optional :class:`~repro.obs.spans.SpanContext`
+        (or ``(trace_id, span_id)`` pair) the batch's spans parent
+        under — how one served job's engine work joins the submitting
+        request's trace.
         """
         if on_error not in ("raise", "record"):
             raise ValueError("on_error must be 'raise' or 'record'")
-        saved = (self.progress, self.timeout)
+        saved = (self.progress, self.timeout, self._trace)
         if progress is not False:
             self.progress = progress
         if timeout is not False:
             self.timeout = timeout
+        if trace is None and self.spans is not None:
+            trace = self._trace or SpanContext(new_trace_id(), new_span_id())
+        self._trace = trace
         try:
             return self._run_many(specs, on_error)
         finally:
-            self.progress, self.timeout = saved
+            self.progress, self.timeout, self._trace = saved
 
     def _run_many(
         self, specs: Sequence[RunSpec], on_error: str
@@ -634,19 +778,36 @@ class Engine:
         # fanned out from the memo at collection time below.
         pending: List[Tuple[int, RunSpec, str]] = []
         claimed = set()
+        recorder = self.spans
         for index, (spec, key) in enumerate(zip(specs, keys)):
+            lookup = (
+                recorder.start(
+                    "cache-lookup", parent=self._trace,
+                    attributes={"spec": spec.label()},
+                )
+                if recorder is not None
+                else None
+            )
             if key in self._memo or key in self._failures:
                 self._counts["memo_hits"] += 1
+                if lookup is not None:
+                    recorder.finish(lookup.set(outcome="memo"))
                 continue
             payload = self._from_disk(key)
             if payload is not None:
+                if lookup is not None:
+                    recorder.finish(lookup.set(outcome="hit"))
                 self._absorb(spec, key, payload, "cached", total)
                 continue
             if key not in claimed:
                 claimed.add(key)
                 pending.append((index, spec, key))
+                if lookup is not None:
+                    recorder.finish(lookup.set(outcome="miss"))
             else:
                 self._counts["deduped"] += 1
+                if lookup is not None:
+                    recorder.finish(lookup.set(outcome="deduped"))
 
         if len(pending) > 1 and self._ensure_pool() is not None:
             self._run_pooled(pending, total)

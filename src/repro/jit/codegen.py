@@ -46,6 +46,7 @@ keeps compile time proportional to the executed footprint.
 from __future__ import annotations
 
 import math
+import time
 from heapq import heappush
 from typing import Dict, List, Optional, Tuple
 
@@ -142,7 +143,7 @@ class CompiledProgram:
     """
 
     __slots__ = ("program", "code", "model", "traced", "oracle_on", "cached",
-                 "faulted", "funcs", "compiled_blocks")
+                 "faulted", "funcs", "compiled_blocks", "compile_seconds")
 
     def __init__(self, program, model: int, traced: bool, oracle_on: bool,
                  cached: bool, faulted: bool):
@@ -156,14 +157,20 @@ class CompiledProgram:
         #: One slot per instruction; populated on first dispatch.
         self.funcs: List[Optional[object]] = [None] * len(self.code)
         self.compiled_blocks = 0
+        #: Wall-clock seconds spent generating + exec'ing block code
+        #: (feeds the ``jit-compile`` span; only the cold compile branch
+        #: pays the clock reads, dispatch hits stay one ``is None`` test).
+        self.compile_seconds = 0.0
 
     def ensure(self, pc: int):
         """Compile (if needed) and return the block function entered at *pc*."""
         fn = self.funcs[pc]
         if fn is None:
+            started = time.perf_counter()
             fn = _compile_entry(self, pc)
             self.funcs[pc] = fn
             self.compiled_blocks += 1
+            self.compile_seconds += time.perf_counter() - started
         return fn
 
     def source_for(self, pc: int) -> str:
@@ -192,6 +199,17 @@ def compiled_for(program, model: int, traced: bool, oracle_on: bool,
                                    faulted)
         variants[key] = compiled
     return compiled
+
+
+def compile_seconds_for(program) -> float:
+    """Total codegen wall-clock seconds accumulated on *program* across
+    every compiled variant in this process.  Sampling it before and
+    after a run attributes that run's compile cost (the delta) — the
+    ``jit-compile`` span in :mod:`repro.obs.spans`."""
+    variants = getattr(program, "_jit_variants", None)
+    if not variants:
+        return 0.0
+    return sum(cp.compile_seconds for cp in variants.values())
 
 
 def _compile_entry(cp: CompiledProgram, entry: int):

@@ -42,6 +42,7 @@ from repro.obs.tracer import NullTracer, RingTracer, TimelineTracer, Tracer
 from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     metrics_from_events,
@@ -52,6 +53,18 @@ from repro.obs.runlog import (
     read_runlog,
     render_runlog_report,
     summarize_runlog,
+)
+from repro.obs.spans import (
+    NullSpanRecorder,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    merge_chrome_traces,
+    read_spans_jsonl,
+    render_span_report,
+    render_span_tree,
+    spans_chrome_trace,
+    write_spans_jsonl,
 )
 
 __all__ = [
@@ -71,6 +84,7 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "metrics_from_events",
@@ -79,4 +93,14 @@ __all__ = [
     "read_runlog",
     "summarize_runlog",
     "render_runlog_report",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+    "render_span_report",
+    "render_span_tree",
+    "spans_chrome_trace",
+    "merge_chrome_traces",
 ]

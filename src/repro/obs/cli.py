@@ -6,18 +6,24 @@ Examples::
     repro-trace run sor --model som --processors 4 --level 8 \\
         --scale small --events events.jsonl --timeline
     repro-trace report ~/.cache/repro/runlog.jsonl
+    repro-trace spans ~/.cache/repro/spans.jsonl --tree
 
 ``run`` simulates one configuration with a :class:`~repro.obs.tracer.
 RingTracer` attached and writes a Chrome ``trace_event`` file — open it
 at https://ui.perfetto.dev.  ``--events`` additionally dumps the raw
 event stream as JSONL; ``--metrics`` / ``--timeline`` print the derived
 aggregate views on stdout.  ``report`` summarizes an engine run log
-(where it lives is printed by ``repro-bench`` on exit).
+(where it lives is printed by ``repro-bench`` on exit).  ``spans``
+summarizes a wall-clock span log recorded by ``repro-serve serve
+--spans`` — per-stage latency quantiles, per-trace trees, and a Chrome
+trace export that ``--merge`` can splice with a simulated-cycle trace
+into one Perfetto view.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness.cliargs import add_spec_arguments, spec_from_args
@@ -25,6 +31,13 @@ from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_t
 from repro.obs.events import write_events_jsonl
 from repro.obs.metrics import metrics_from_events
 from repro.obs.runlog import read_runlog, render_runlog_report
+from repro.obs.spans import (
+    merge_chrome_traces,
+    read_spans_jsonl,
+    render_span_report,
+    render_span_tree,
+    spans_chrome_trace,
+)
 from repro.obs.tracer import RingTracer
 
 
@@ -74,6 +87,39 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_spans(args) -> int:
+    try:
+        spans = read_spans_jsonl(args.spanlog)
+    except OSError as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 2
+    if args.trace:
+        spans = [
+            span for span in spans if span.trace_id.startswith(args.trace)
+        ]
+    if args.chrome:
+        document = spans_chrome_trace(spans)
+        if args.merge:
+            try:
+                with open(args.merge, "r", encoding="utf-8") as handle:
+                    other = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"repro-trace: cannot merge {args.merge}: {error}",
+                      file=sys.stderr)
+                return 2
+            document = merge_chrome_traces(other, document)
+        validate_chrome_trace(document)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        print(
+            f"[spans] wrote Chrome trace ({len(document['traceEvents']):,} "
+            f"events) -> {args.chrome}",
+            file=sys.stderr,
+        )
+    print(render_span_tree(spans) if args.tree else render_span_report(spans))
+    return 0
+
+
 def _cmd_report(args) -> int:
     try:
         entries = read_runlog(args.runlog)
@@ -116,6 +162,35 @@ def main(argv=None) -> int:
     report = commands.add_parser("report", help="summarize an engine run log")
     report.add_argument("runlog", help="path to runlog.jsonl")
     report.set_defaults(func=_cmd_report)
+
+    spans = commands.add_parser(
+        "spans", help="summarize a wall-clock span log (repro-serve --spans)"
+    )
+    spans.add_argument("spanlog", help="path to spans.jsonl")
+    spans.add_argument(
+        "--tree",
+        action="store_true",
+        help="print per-trace span trees instead of the stage-latency table",
+    )
+    spans.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        help="restrict to one trace (id or unique prefix)",
+    )
+    spans.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also write the spans as a Chrome trace_event file",
+    )
+    spans.add_argument(
+        "--merge",
+        default=None,
+        metavar="TRACE",
+        help="splice an existing (cycle) Chrome trace into --chrome output",
+    )
+    spans.set_defaults(func=_cmd_spans)
 
     args = parser.parse_args(argv)
     try:

@@ -58,15 +58,38 @@ class Counter:
 class Histogram:
     """Power-of-two-bucketed distribution of non-negative observations.
 
-    Bucket *b* counts observations with ``2**(b-1) < value <= 2**b``
-    (bucket 0 counts values <= 1); exact count/sum/min/max are kept
-    alongside, so means are exact and only percentiles are approximate
-    (upper bucket bound — a conservative estimate).
+    Bucket *b* counts observations with ``2**(b-1) < value <= 2**b``;
+    exact count/sum/min/max are kept alongside, so means are exact and
+    only quantiles are approximate (upper bucket bound — a conservative
+    estimate).
+
+    *floor* is the smallest bucket exponent: with the default ``0`` the
+    cheapest path applies and every value <= 1 lands in bucket 0 (right
+    for integral quantities — cycle counts, run lengths).  A negative
+    floor extends the buckets into fractional powers of two (``2**-20``
+    ≈ 1µs of seconds), which is what the wall-clock span latency
+    histograms use; values at or below ``2**floor`` share the floor
+    bucket.
+
+    Like :class:`Counter`, a histogram may carry a Prometheus-style
+    label set (one Histogram per distinct label set); labelled series of
+    one family share the name and differ only in *labels*.
     """
 
-    __slots__ = ("name", "buckets", "count", "total", "min", "max", "help")
+    __slots__ = (
+        "name", "buckets", "count", "total", "min", "max", "help",
+        "labels", "floor",
+    )
 
-    def __init__(self, name: str, help: Optional[str] = None):
+    def __init__(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+        floor: int = 0,
+    ):
+        if floor > 0:
+            raise ValueError(f"histogram {name!r}: floor must be <= 0")
         self.name = name
         self.buckets: Dict[int, int] = {}
         self.count = 0
@@ -74,11 +97,24 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.help = help
+        self.labels = dict(labels) if labels else None
+        self.floor = floor
+
+    def _bucket_for(self, value) -> int:
+        if value > 1:
+            return (math.ceil(value) - 1).bit_length()
+        if self.floor == 0 or value <= 0:
+            return self.floor
+        # 0 < value <= 1 with fractional buckets: frexp gives the exact
+        # power-of-two bound without the log2 rounding hazards.
+        mantissa, exponent = math.frexp(value)
+        bucket = exponent - 1 if mantissa == 0.5 else exponent
+        return bucket if bucket > self.floor else self.floor
 
     def observe(self, value) -> None:
         if value < 0:
             raise ValueError(f"histogram {self.name!r}: negative value {value}")
-        bucket = (math.ceil(value) - 1).bit_length() if value > 1 else 0
+        bucket = self._bucket_for(value)
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
         self.count += 1
         self.total += value
@@ -91,9 +127,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the *q*-quantile from the bucket
+        boundaries: the smallest bucket bound below which at least
+        ``q * count`` observations fall, clamped by the exact observed
+        maximum (so ``quantile(1.0) == max``).  ``0.0`` when empty."""
+        if not self.count:
+            return 0.0
+        threshold = q * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= threshold:
+                return min(float(2 ** bucket), float(self.max))
+        return float(self.max)
+
     def percentile(self, fraction: float) -> float:
         """Upper bucket bound below which *fraction* of observations fall
-        (conservative; exact min/max are reported separately)."""
+        (conservative; exact min/max are reported separately).  Prefer
+        :meth:`quantile`, which additionally clamps by the observed max."""
         if not self.count:
             return 0.0
         threshold = fraction * self.count
@@ -105,7 +157,7 @@ class Histogram:
         return float(self.max)
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
@@ -114,9 +166,41 @@ class Histogram:
             "mean": self.mean,
             "buckets": {str(2 ** b): n for b, n in sorted(self.buckets.items())},
         }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class Gauge:
+    """A named value that can go up and down (uptime, build info)."""
+
+    __slots__ = ("name", "value", "help", "labels")
+
+    def __init__(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.value = 0.0
+        self.help = help
+        self.labels = dict(labels) if labels else None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict:
+        payload = {"type": "gauge", "value": self.value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {labeled_key(self.name, self.labels)}={self.value}>"
 
 
 class MetricsRegistry:
@@ -141,12 +225,35 @@ class MetricsRegistry:
             raise TypeError(f"{key!r} is already a {type(instrument).__name__}")
         return instrument
 
-    def histogram(self, name: str, help: Optional[str] = None) -> Histogram:
-        instrument = self._instruments.get(name)
+    def histogram(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+        floor: int = 0,
+    ) -> Histogram:
+        key = labeled_key(name, labels)
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = self._instruments[name] = Histogram(name, help)
+            instrument = self._instruments[key] = Histogram(
+                name, help, labels, floor
+            )
         elif not isinstance(instrument, Histogram):
-            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+            raise TypeError(f"{key!r} is already a {type(instrument).__name__}")
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Gauge:
+        key = labeled_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Gauge(name, help, labels)
+        elif not isinstance(instrument, Gauge):
+            raise TypeError(f"{key!r} is already a {type(instrument).__name__}")
         return instrument
 
     def __iter__(self):
@@ -167,6 +274,9 @@ class MetricsRegistry:
         counters = [
             (name, inst) for name, inst in self if isinstance(inst, Counter)
         ]
+        gauges = [
+            (name, inst) for name, inst in self if isinstance(inst, Gauge)
+        ]
         histograms = [
             (name, inst) for name, inst in self if isinstance(inst, Histogram)
         ]
@@ -175,6 +285,11 @@ class MetricsRegistry:
             lines.append("counters:")
             for name, counter in counters:
                 lines.append(f"  {name:<{width}}  {counter.value:>12,}")
+        if gauges:
+            width = max(len(name) for name, _ in gauges)
+            lines.append("gauges:" if not lines else "\ngauges:")
+            for name, gauge in gauges:
+                lines.append(f"  {name:<{width}}  {gauge.value:>12,}")
         if histograms:
             width = max(len(name) for name, _ in histograms)
             lines.append("histograms:" if not lines else "\nhistograms:")
@@ -204,45 +319,65 @@ class MetricsRegistry:
         """
         lines: List[str] = []
         emitted_families = set()
+
+        def family_header(name: str, kind: str, help_text) -> None:
+            # TYPE/HELP belong to the family: emit once even when many
+            # labelled series share the name.
+            if name in emitted_families:
+                return
+            emitted_families.add(name)
+            if help_text:
+                lines.append(f"# HELP {name} {escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+
         for _name, instrument in self:
+            rendered_labels = _render_labels(instrument.labels)
             if isinstance(instrument, Counter):
                 name = prometheus_name(instrument.name)
                 if not name.endswith("_total"):
                     name += "_total"
-                if name not in emitted_families:
-                    # TYPE/HELP belong to the family: emit once even when
-                    # many labelled series share the name.
-                    emitted_families.add(name)
-                    if instrument.help:
-                        lines.append(
-                            f"# HELP {name} {escape_help(instrument.help)}"
-                        )
-                    lines.append(f"# TYPE {name} counter")
-                label_part = ""
-                if instrument.labels:
-                    rendered = ",".join(
-                        f'{prometheus_name(key)}='
-                        f'"{escape_label_value(str(value))}"'
-                        for key, value in sorted(instrument.labels.items())
-                    )
-                    label_part = "{" + rendered + "}"
+                family_header(name, "counter", instrument.help)
+                label_part = "{" + rendered_labels + "}" if rendered_labels else ""
+                lines.append(
+                    f"{name}{label_part} {_format_value(instrument.value)}"
+                )
+            elif isinstance(instrument, Gauge):
+                name = prometheus_name(instrument.name)
+                family_header(name, "gauge", instrument.help)
+                label_part = "{" + rendered_labels + "}" if rendered_labels else ""
                 lines.append(
                     f"{name}{label_part} {_format_value(instrument.value)}"
                 )
             else:
                 name = prometheus_name(instrument.name)
-                if instrument.help:
-                    lines.append(f"# HELP {name} {escape_help(instrument.help)}")
-                lines.append(f"# TYPE {name} histogram")
+                family_header(name, "histogram", instrument.help)
+                prefix = rendered_labels + "," if rendered_labels else ""
+                label_part = "{" + rendered_labels + "}" if rendered_labels else ""
                 cumulative = 0
                 for bucket in sorted(instrument.buckets):
                     cumulative += instrument.buckets[bucket]
                     bound = escape_label_value(str(2 ** bucket))
-                    lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
-                lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
-                lines.append(f"{name}_sum {_format_value(instrument.total)}")
-                lines.append(f"{name}_count {instrument.count}")
+                    lines.append(
+                        f'{name}_bucket{{{prefix}le="{bound}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{name}_bucket{{{prefix}le="+Inf"}} {instrument.count}'
+                )
+                lines.append(
+                    f"{name}_sum{label_part} {_format_value(instrument.total)}"
+                )
+                lines.append(f"{name}_count{label_part} {instrument.count}")
         return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_labels(labels: Optional[Dict[str, str]]) -> str:
+    """Prometheus label pairs (``k="v",...``) sorted by key, or ``""``."""
+    if not labels:
+        return ""
+    return ",".join(
+        f'{prometheus_name(key)}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
 
 
 def labeled_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:

@@ -83,9 +83,14 @@ def read_runlog(path) -> List[Dict]:
 
 def summarize_runlog(entries: List[Dict]) -> Dict:
     """Aggregate a run log into the quantities the report prints."""
+    from repro.obs.metrics import Histogram
+
     by_source: Dict[str, int] = {}
     by_worker: Dict[int, int] = {}
     elapsed_total = 0.0
+    # floor -20 = 2**-20 s buckets (~1µs), the same resolution the span
+    # stage histograms use.
+    elapsed_hist = Histogram("elapsed", floor=-20)
     slowest: List[Dict] = []
     failures: List[Dict] = []
     peak_rss = None
@@ -97,7 +102,9 @@ def summarize_runlog(entries: List[Dict]) -> Dict:
         worker = entry.get("worker")
         if worker is not None:
             by_worker[worker] = by_worker.get(worker, 0) + 1
-        elapsed_total += float(entry.get("elapsed", 0.0))
+        elapsed = float(entry.get("elapsed", 0.0))
+        elapsed_total += elapsed
+        elapsed_hist.observe(max(0.0, elapsed))
         rss = entry.get("peak_rss_kb")
         if rss is not None and (peak_rss is None or rss > peak_rss):
             peak_rss = rss
@@ -111,6 +118,11 @@ def summarize_runlog(entries: List[Dict]) -> Dict:
         "by_source": by_source,
         "by_worker": by_worker,
         "elapsed_total": elapsed_total,
+        "elapsed_quantiles": {
+            "p50": elapsed_hist.quantile(0.5),
+            "p95": elapsed_hist.quantile(0.95),
+            "p99": elapsed_hist.quantile(0.99),
+        },
         "simulated_cycles": cycles,
         "peak_rss_kb": peak_rss,
         "failures": failures,
@@ -131,6 +143,11 @@ def render_runlog_report(entries: List[Dict]) -> str:
         f"run time {summary['elapsed_total']:.2f}s across "
         f"{len(summary['by_worker']) or 1} worker(s), "
         f"{summary['simulated_cycles']:,} simulated cycles",
+        "elapsed p50/p95/p99 "
+        + "/".join(
+            f"{summary['elapsed_quantiles'][q]:.3f}s"
+            for q in ("p50", "p95", "p99")
+        ),
     ]
     if summary["peak_rss_kb"] is not None:
         parts.append(f"peak worker RSS {summary['peak_rss_kb'] / 1024:.0f} MiB")

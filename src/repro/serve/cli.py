@@ -46,6 +46,7 @@ def _cmd_serve(args) -> int:
         check=args.check,
         journal=args.journal,
         quiet=args.quiet,
+        spans=args.spans,
     )
     return serve(config)
 
@@ -139,6 +140,15 @@ def main(argv=None) -> int:
         default=None,
         metavar="PATH",
         help="job journal path (default: <cache-dir>/serve-journal.jsonl)",
+    )
+    run.add_argument(
+        "--spans",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="record wall-clock spans per request (JSONL log at PATH; "
+        "bare flag logs to <cache-dir>/spans.jsonl)",
     )
     run.add_argument("--quiet", action="store_true", help="no request logging")
     run.set_defaults(func=_cmd_serve)

@@ -24,6 +24,8 @@ import urllib.request
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.engine.spec import RunSpec
+from repro.obs.spans import SpanContext, new_span_id, new_trace_id
+from repro.obs.spans import active as active_spans
 
 SpecLike = Union[RunSpec, Dict]
 
@@ -67,27 +69,40 @@ class Client:
 
     :param base_url: server address, e.g. ``http://127.0.0.1:8023``.
     :param timeout: socket timeout per request in seconds.
+    :param spans: optional :class:`~repro.obs.spans.SpanRecorder`; when
+        enabled, every :meth:`submit` is wrapped in a ``client-submit``
+        span whose trace the server joins.  Submissions always carry a
+        ``traceparent`` header either way — a span-recording server
+        correlates them even when the client keeps no spans itself.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0, spans=None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.spans = active_spans(spans)
 
     # -- transport -------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], object]:
         data = (
             json.dumps(body, separators=(",", ":")).encode("utf-8")
             if body is not None
             else None
         )
+        request_headers = {"Content-Type": "application/json"} if data else {}
+        if headers:
+            request_headers.update(headers)
         request = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
@@ -125,25 +140,52 @@ class Client:
         *retries* > 0 re-submits after a 429/503, sleeping the server's
         ``Retry-After`` hint between attempts; past the budget the last
         :class:`JobRejected` propagates.
+
+        The submission stamps a fresh ``traceparent`` header (one trace
+        across all retry attempts — the job coalesces server-side), so a
+        span-recording server threads its whole pipeline under this
+        call's trace id even when the client records nothing.
         """
         if isinstance(specs, (RunSpec, dict)):
             specs = [specs]
         body: Dict = {"specs": [_encode_spec(spec) for spec in specs]}
         if timeout != "inherit":
             body["timeout"] = timeout
+        span = None
+        if self.spans is not None:
+            span = self.spans.start(
+                "client-submit", attributes={"specs": len(specs)}
+            )
+            context = span.context
+        else:
+            context = SpanContext(new_trace_id(), new_span_id())
+        headers = {"traceparent": context.to_traceparent()}
         attempt = 0
-        while True:
-            status, _headers, payload = self._request("POST", "/v1/jobs", body)
-            if status in (429, 503):
-                rejection = JobRejected(status, payload)
-                if attempt >= retries:
-                    raise rejection
-                attempt += 1
-                time.sleep(rejection.retry_after)
-                continue
-            if status >= 400:
-                raise ServeError(status, payload)
-            return payload
+        try:
+            while True:
+                status, _headers, payload = self._request(
+                    "POST", "/v1/jobs", body, headers=headers
+                )
+                if status in (429, 503):
+                    rejection = JobRejected(status, payload)
+                    if attempt >= retries:
+                        raise rejection
+                    attempt += 1
+                    time.sleep(rejection.retry_after)
+                    continue
+                if status >= 400:
+                    raise ServeError(status, payload)
+                if span is not None:
+                    span.set(
+                        job=payload.get("job"),
+                        coalesced=payload.get("coalesced"),
+                    )
+                    self.spans.finish(span)
+                    span = None
+                return payload
+        finally:
+            if span is not None:
+                self.spans.finish(span, status="error")
 
     def status(self, job: Union[str, Dict]) -> Dict:
         """``GET /v1/jobs/<id>`` — the job's status dictionary."""

@@ -62,6 +62,10 @@ class Job:
         self.last_label: Optional[str] = None
         #: Submissions coalesced into this job (1 = the admitting one).
         self.clients = 1
+        #: Trace context of the admitting request (a
+        #: :class:`~repro.obs.spans.SpanContext` or ``None``).  Coalesced
+        #: submissions keep the admitter's trace — one job, one trace.
+        self.trace = None
         self.error: Optional[Dict] = None
         self.results: Optional[List[Dict]] = None
         self._event = threading.Event()

@@ -33,7 +33,9 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.executor import Engine
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, labeled_key
+from repro.obs.spans import STAGE_FLOOR, STAGE_HISTOGRAM
+from repro.obs.spans import active as active_spans
 from repro.serve.jobs import Job, JobJournal, JobState
 
 #: Counter names registered up front so ``/metrics`` is complete (and
@@ -73,6 +75,13 @@ class JobScheduler:
     :param journal: a :class:`JobJournal`, a path, or ``None``.
     :param check: run the :mod:`repro.check` invariant oracle on every
         successful result; an oracle failure fails the job.
+    :param spans: a :class:`~repro.obs.spans.SpanRecorder` (or ``None``)
+        receiving the scheduler-side stages of every traced job —
+        admit/coalesce at submission, queue-wait/execute/serialize/
+        journal as the worker thread drains it.  A disabled recorder is
+        normalised to ``None`` (the usual zero-overhead contract); an
+        enabled one without a metrics sink adopts the scheduler's
+        registry, so stage latencies surface at ``/metrics``.
     """
 
     def __init__(
@@ -83,6 +92,7 @@ class JobScheduler:
         default_timeout: Optional[float] = None,
         journal=None,
         check: bool = False,
+        spans=None,
     ):
         self.engine = engine
         self.max_queue_depth = max_queue_depth
@@ -95,6 +105,9 @@ class JobScheduler:
         self.metrics = MetricsRegistry()
         for name, help_text in _COUNTERS.items():
             self.metrics.counter(name, help=help_text)
+        self.spans = active_spans(spans)
+        if self.spans is not None and self.spans.metrics is None:
+            self.spans.metrics = self.metrics
         self.jobs: Dict[str, Job] = {}
         self._queue: collections.deque = collections.deque()
         self._lock = threading.Lock()
@@ -114,60 +127,103 @@ class JobScheduler:
 
     def _retry_after(self) -> int:
         """Seconds a rejected client should back off: the queue depth
-        times the recent mean job time (floor 1s)."""
-        mean = (
-            sum(self._elapsed) / len(self._elapsed) if self._elapsed else 1.0
-        )
-        return max(1, round(mean * (len(self._queue) + 1)))
+        times a per-job time estimate (floor 1s).  The estimate is the
+        p95 of the ``execute`` stage-latency histogram when span
+        recording has populated it — a tail estimate survives a bimodal
+        mix of cache hits and cold runs that would drag a mean down —
+        and falls back to the recent mean job time (or 1s) before any
+        traced job has finished."""
+        estimate = 0.0
+        if labeled_key(STAGE_HISTOGRAM, {"stage": "execute"}) in self.metrics:
+            hist = self.metrics.histogram(
+                STAGE_HISTOGRAM, labels={"stage": "execute"}, floor=STAGE_FLOOR
+            )
+            if hist.count:
+                estimate = hist.quantile(0.95)
+        if not estimate:
+            estimate = (
+                sum(self._elapsed) / len(self._elapsed) if self._elapsed else 1.0
+            )
+        return max(1, round(estimate * (len(self._queue) + 1)))
 
     def submit(
         self,
         specs,
         nbytes: int = 0,
         timeout="inherit",
+        trace=None,
     ) -> Tuple[Job, bool]:
         """Admit (or coalesce) a batch; returns ``(job, coalesced)``.
 
         Coalescing is checked *before* admission control: attaching to an
         existing job creates no new work, so it succeeds even when the
         queue is full — that is the stampede-protection point.
+
+        *trace* is the submitting request's span context (or ``None``);
+        an admitted job carries it so queue-wait/execute/serialize spans
+        parent under the request.  A coalesced submission records only an
+        instant ``coalesce`` span on its *own* trace — the job keeps the
+        admitter's.
         """
         if timeout == "inherit":
             timeout = self.default_timeout
         job = Job(list(specs), nbytes=nbytes, timeout=timeout)
+        recorder = self.spans
         with self._wake:
             existing = self.jobs.get(job.job_id)
             if existing is not None and existing.state is not JobState.FAILED:
                 existing.clients += 1
                 self.metrics.counter("serve.jobs.coalesced").inc()
+                if recorder is not None:
+                    recorder.finish(recorder.start(
+                        "coalesce", parent=trace,
+                        attributes={"job": existing.job_id,
+                                    "clients": existing.clients},
+                    ))
                 return existing, True
-            if self._stopped or self.draining:
-                self.metrics.counter("serve.jobs.rejected").inc()
-                raise AdmissionError(
-                    "server is draining", status=503,
-                    retry_after=self._retry_after(),
+            admit = None
+            if recorder is not None:
+                admit = recorder.start(
+                    "admit", parent=trace,
+                    attributes={"job": job.job_id, "specs": job.total,
+                                "nbytes": nbytes},
                 )
-            depth = sum(
-                1 for queued in self._queue
-                if self.jobs[queued].state is JobState.QUEUED
-            )
-            if depth >= self.max_queue_depth:
-                self.metrics.counter("serve.jobs.rejected").inc()
-                raise AdmissionError(
-                    f"queue full ({depth} jobs queued)", status=429,
-                    retry_after=self._retry_after(),
+            try:
+                if self._stopped or self.draining:
+                    self.metrics.counter("serve.jobs.rejected").inc()
+                    raise AdmissionError(
+                        "server is draining", status=503,
+                        retry_after=self._retry_after(),
+                    )
+                depth = sum(
+                    1 for queued in self._queue
+                    if self.jobs[queued].state is JobState.QUEUED
                 )
-            if (
-                self.max_inflight_bytes
-                and nbytes
-                and self._inflight_bytes + nbytes > self.max_inflight_bytes
-            ):
-                self.metrics.counter("serve.jobs.rejected").inc()
-                raise AdmissionError(
-                    "in-flight byte budget exceeded", status=429,
-                    retry_after=self._retry_after(),
-                )
+                if depth >= self.max_queue_depth:
+                    self.metrics.counter("serve.jobs.rejected").inc()
+                    raise AdmissionError(
+                        f"queue full ({depth} jobs queued)", status=429,
+                        retry_after=self._retry_after(),
+                    )
+                if (
+                    self.max_inflight_bytes
+                    and nbytes
+                    and self._inflight_bytes + nbytes > self.max_inflight_bytes
+                ):
+                    self.metrics.counter("serve.jobs.rejected").inc()
+                    raise AdmissionError(
+                        "in-flight byte budget exceeded", status=429,
+                        retry_after=self._retry_after(),
+                    )
+            except AdmissionError as error:
+                if admit is not None:
+                    admit.set(reason=error.reason)
+                    recorder.finish(admit, status="rejected")
+                raise
+            job.trace = trace
             self._admit(job)
+            if admit is not None:
+                recorder.finish(admit)
         return job, False
 
     def _admit(self, job: Job) -> None:
@@ -225,6 +281,13 @@ class JobScheduler:
                 )
 
     def _execute(self, job: Job) -> None:
+        recorder = self.spans
+        if recorder is not None:
+            # Backdated: the wait started the instant the job was admitted.
+            recorder.finish(recorder.start(
+                "queue-wait", parent=job.trace, start=job.created,
+                attributes={"job": job.job_id},
+            ))
         job.mark_running()
 
         def on_progress(event: Dict) -> None:
@@ -232,13 +295,30 @@ class JobScheduler:
             job.last_label = event.get("label")
             self.metrics.counter("serve.specs.resolved").inc()
 
+        execute = serialize = None
         try:
+            if recorder is not None:
+                execute = recorder.start(
+                    "execute", parent=job.trace,
+                    attributes={"job": job.job_id, "specs": job.total},
+                )
+            # Thread the trace only while recording, so engine stand-ins
+            # built against the pre-span run_many signature keep working.
+            extra = {"trace": execute.context} if execute is not None else {}
             results = self.engine.run_many(
                 job.specs,
                 on_error="record",
                 progress=on_progress,
                 timeout=job.timeout,
+                **extra,
             )
+            if recorder is not None:
+                recorder.finish(execute)
+                execute = None
+                serialize = recorder.start(
+                    "serialize", parent=job.trace,
+                    attributes={"job": job.job_id},
+                )
             payloads: List[Dict] = []
             for spec, key, result in zip(job.specs, job.keys, results):
                 if result is None:
@@ -253,6 +333,9 @@ class JobScheduler:
                     self._lint_spec(spec)
                     check_result(result, label=spec.label())
                 payloads.append(result.to_dict())
+            if serialize is not None:
+                recorder.finish(serialize)
+                serialize = None
         except _JobFailure as failure:
             job.mark_failed(failure.error)
         except Exception as error:  # noqa: BLE001 — worker must survive
@@ -261,13 +344,26 @@ class JobScheduler:
             )
         else:
             job.mark_done(payloads)
+        finally:
+            # Whichever stage was open when the job failed is the one
+            # that failed it.
+            for span in (execute, serialize):
+                if span is not None:
+                    recorder.finish(span, status="error")
         if job.state is JobState.DONE:
             self.metrics.counter("serve.jobs.completed").inc()
         else:
             self.metrics.counter("serve.jobs.failed").inc()
         if self.journal is not None:
             try:
-                self.journal.record_finish(job)
+                if recorder is not None:
+                    with recorder.span(
+                        "journal", parent=job.trace,
+                        attributes={"job": job.job_id},
+                    ):
+                        self.journal.record_finish(job)
+                else:
+                    self.journal.record_finish(job)
             except OSError:  # pragma: no cover - disk full etc.
                 pass
 

@@ -39,7 +39,9 @@ from repro.engine.cache import default_cache_dir
 from repro.engine.executor import Engine
 from repro.engine.spec import RunSpec
 from repro.faults.config import FaultConfig
+from repro.jit import DEFAULT_BACKEND
 from repro.machine.models import SwitchModel
+from repro.obs.spans import SpanContext, SpanRecorder
 from repro.serve.jobs import JobState
 from repro.serve.scheduler import AdmissionError, JobScheduler
 
@@ -63,6 +65,9 @@ class ServerConfig:
     check: bool = False
     journal: Union[str, Path, None] = None
     quiet: bool = False
+    #: Span recording: ``None``/``False`` off, ``True`` on (log lands
+    #: next to the cache), or a path for the JSONL span log.
+    spans: Union[str, Path, bool, None] = None
 
     def resolved_cache_dir(self) -> Optional[Path]:
         if self.no_cache:
@@ -74,6 +79,16 @@ class ServerConfig:
             return Path(self.journal)
         cache_dir = self.resolved_cache_dir()
         return cache_dir / "serve-journal.jsonl" if cache_dir else None
+
+    def resolved_spans(self) -> Optional[Path]:
+        """The span-log path (``None`` = spans off, or on without a log
+        when recording is requested but no cache directory exists)."""
+        if not self.spans:
+            return None
+        if self.spans is True:
+            cache_dir = self.resolved_cache_dir()
+            return cache_dir / "spans.jsonl" if cache_dir else None
+        return Path(self.spans)
 
 
 def specs_from_payload(payload) -> List[RunSpec]:
@@ -184,7 +199,7 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/metrics":
             return self._send(
                 200,
-                self.app.scheduler.metrics_text(),
+                self.app.metrics_text(),
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
         if path.startswith("/v1/jobs/"):
@@ -209,6 +224,24 @@ class _Handler(BaseHTTPRequestHandler):
         return self._error(404, f"no route for POST {path}")
 
     def _submit(self) -> None:
+        recorder = self.app.spans
+        if recorder is None:
+            return self._handle_submit(None)
+        # Join the caller's trace when it sent a well-formed traceparent
+        # header; otherwise this request roots a fresh trace.
+        http_span = recorder.start(
+            "http",
+            parent=SpanContext.from_traceparent(self.headers.get("traceparent")),
+            attributes={"method": "POST", "path": "/v1/jobs"},
+        )
+        try:
+            self._handle_submit(http_span)
+        except BaseException:
+            recorder.finish(http_span, status="error")
+            raise
+        recorder.finish(http_span)
+
+    def _handle_submit(self, http_span) -> None:
         body = self._read_body()
         if body is None:
             return
@@ -216,34 +249,42 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(body.decode("utf-8"))
             specs = specs_from_payload(payload)
         except (ValueError, UnicodeDecodeError) as error:
+            if http_span is not None:
+                http_span.set(http_status=400)
             return self._error(400, str(error))
         timeout = payload.get("timeout", "inherit")
         if timeout is not None and timeout != "inherit":
             try:
                 timeout = float(timeout)
             except (TypeError, ValueError):
+                if http_span is not None:
+                    http_span.set(http_status=400)
                 return self._error(400, "timeout must be a number")
         try:
             job, coalesced = self.app.scheduler.submit(
-                specs, nbytes=len(body), timeout=timeout
+                specs, nbytes=len(body), timeout=timeout,
+                trace=http_span.context if http_span is not None else None,
             )
         except AdmissionError as refused:
+            if http_span is not None:
+                http_span.set(http_status=refused.status)
             return self._send(
                 refused.status,
                 {"error": refused.reason, "retry_after": refused.retry_after},
                 headers={"Retry-After": str(refused.retry_after)},
             )
-        self._send(
-            202,
-            {
-                "job": job.job_id,
-                "coalesced": coalesced,
-                "specs": job.total,
-                "state": job.state.value,
-                "status_url": f"/v1/jobs/{job.job_id}",
-                "result_url": f"/v1/jobs/{job.job_id}/result",
-            },
-        )
+        accepted = {
+            "job": job.job_id,
+            "coalesced": coalesced,
+            "specs": job.total,
+            "state": job.state.value,
+            "status_url": f"/v1/jobs/{job.job_id}",
+            "result_url": f"/v1/jobs/{job.job_id}/result",
+        }
+        if http_span is not None:
+            http_span.set(http_status=202, job=job.job_id)
+            accepted["trace"] = http_span.trace_id
+        self._send(202, accepted)
 
     def _job_status(self, job_id: str) -> None:
         job = self.app.scheduler.get(job_id)
@@ -276,9 +317,17 @@ class ReproServer:
             config = dataclasses.replace(config, **overrides)
         self.config = config
         cache_dir = config.resolved_cache_dir()
+        # One recorder shared by every layer: the handler's http span,
+        # the scheduler's stage spans and the engine's dispatch tree all
+        # land in one log.  The scheduler wires its metrics registry in,
+        # so stage latencies also surface at /metrics.
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(log=config.resolved_spans()) if config.spans else None
+        )
         self.engine = Engine(
             workers=config.workers,
             cache=str(cache_dir) if cache_dir else None,
+            spans=self.spans,
         )
         self.scheduler = JobScheduler(
             self.engine,
@@ -287,6 +336,7 @@ class ReproServer:
             default_timeout=config.timeout,
             journal=config.resolved_journal(),
             check=config.check,
+            spans=self.spans,
         )
         self.started = time.time()
         self.httpd = _ServeHTTPServer((config.host, config.port), _Handler, self)
@@ -309,7 +359,29 @@ class ReproServer:
         health["uptime"] = round(time.time() - self.started, 3)
         health["recovered"] = self.recovered
         health["engine"] = self.engine.report()
+        if self.spans is not None:
+            health["spans"] = {
+                "recorded": self.spans.recorded,
+                "dropped": self.spans.dropped,
+            }
         return health
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: process-level gauges stamped fresh per
+        scrape, then the scheduler/engine document."""
+        from repro import __version__
+
+        registry = self.scheduler.metrics
+        registry.gauge(
+            "process.uptime_seconds",
+            help="Seconds since the server process started",
+        ).set(round(time.time() - self.started, 3))
+        registry.gauge(
+            "repro.build_info",
+            help="Constant 1; version and default backend ride as labels",
+            labels={"version": __version__, "backend": DEFAULT_BACKEND},
+        ).set(1)
+        return self.scheduler.metrics_text()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -334,6 +406,8 @@ class ReproServer:
             return True
         try:
             drained = self.scheduler.stop(drain=drain, timeout=timeout)
+            if self.spans is not None:
+                self.spans.close()
             self.httpd.shutdown()
             self.httpd.server_close()
             if self._serve_thread is not None:
@@ -374,6 +448,9 @@ def serve(config: ServerConfig) -> int:
             extras.append(f"{server.recovered} job(s) recovered from journal")
         cache_dir = config.resolved_cache_dir()
         extras.append(f"cache {cache_dir}" if cache_dir else "cache disabled")
+        if config.spans:
+            span_log = config.resolved_spans()
+            extras.append(f"spans {span_log}" if span_log else "spans in-memory")
         print(
             f"[serve] listening on {server.url} "
             f"({config.workers} worker(s), {', '.join(extras)})",
