@@ -1,11 +1,13 @@
 """Inert fault-config overhead on the simulation hot paths.
 
-The contract (DESIGN §5d): with no ``FaultConfig`` — or an inert one —
-the memory-transaction path costs one extra ``is None`` check per issue
-and nothing per instruction.  This benchmark measures a reference sieve
-run both ways, interleaving the two configurations so machine drift hits
-them equally, and asserts the inert-config median stays within 3% of the
-no-config baseline.
+The contract (DESIGN §5d, extended by §5i): with no ``FaultConfig`` — or
+an inert one — the memory-transaction path costs one extra ``is None``
+check per issue and nothing per instruction, and the same holds for a
+*lifecycle* config that never transitions (``mean_healthy=0``): the
+availability ledger is reported post-run, but the simulated hot paths
+stay untouched.  This benchmark measures a reference sieve run each way,
+interleaving the configurations so machine drift hits them equally, and
+asserts each inert median stays within 3% of the no-config baseline.
 """
 
 import dataclasses
@@ -13,7 +15,7 @@ import time
 
 from repro.engine.executor import _build
 from repro.engine.spec import RunSpec
-from repro.faults import FaultConfig
+from repro.faults import FaultConfig, LifecycleConfig
 from repro.machine.models import SwitchModel
 from repro.runtime.execution import run_app
 
@@ -51,6 +53,56 @@ def test_inert_fault_config_overhead_under_3_percent():
     assert overhead < 0.03, (
         f"inert fault config costs {overhead * 100:.1f}% (> 3% budget)"
     )
+
+
+def test_inert_lifecycle_overhead_under_3_percent():
+    """Lifecycles configured, zero transitions: the run must stay on the
+    fast paths (and byte-identical — pinned separately by
+    :func:`repro.check.zero_lifecycle_equivalence`); here we pin the
+    *time* side of that contract."""
+    app, program, config = _sieve()
+    inert = dataclasses.replace(
+        config,
+        faults=FaultConfig(lifecycle=LifecycleConfig(mean_healthy=0)),
+    )
+    for _ in range(3):
+        _time_once(app, program, config)
+    baseline, attached = [], []
+    for _ in range(REPS):
+        baseline.append(_time_once(app, program, config))
+        attached.append(_time_once(app, program, inert))
+    overhead = min(attached) / min(baseline) - 1.0
+    print(f"\nbaseline {min(baseline) * 1e3:.1f}ms, inert-lifecycle "
+          f"{min(attached) * 1e3:.1f}ms, overhead {overhead * 100:+.1f}%")
+    assert overhead < 0.03, (
+        f"inert lifecycle config costs {overhead * 100:.1f}% (> 3% budget)"
+    )
+
+
+def test_disabled_and_inert_lifecycle_stats_identical():
+    """Byte-level side of the fast-path contract, at the run_app level:
+    an inert lifecycle changes nothing but the (all-up) availability
+    ledger it reports."""
+    from repro.check.golden import canonical_stats
+
+    app, program, config = _sieve()
+    inert = dataclasses.replace(
+        config,
+        faults=FaultConfig(lifecycle=LifecycleConfig(mean_healthy=0)),
+    )
+    bare = run_app(app, config, program=program).stats.to_dict()
+    dressed = run_app(app, inert, program=program).stats.to_dict()
+    ledger = dressed.pop("component_availability")
+    bare.pop("component_availability")
+    assert bare == dressed
+    wall = dressed["wall_cycles"]
+    assert [
+        (comp["uptime_cycles"], comp["failures"]) for comp in ledger
+    ] == [(wall, 0)] * len(ledger)
+    # And the canonical serialization itself is deterministic.
+    repeat = run_app(app, inert, program=program)
+    again = run_app(app, inert, program=program)
+    assert canonical_stats(repeat.stats) == canonical_stats(again.stats)
 
 
 def test_active_faults_cost_is_measured_not_bounded(benchmark):

@@ -15,9 +15,14 @@ engine underneath it, and ``repro-bench --help`` for the CLI.
 """
 
 from repro.api import backends, list_apps, list_models, simulate, sweep
-from repro.check import CheckFailure, check_result, replay_check
+from repro.check import (
+    CheckFailure,
+    check_result,
+    replay_check,
+    zero_lifecycle_equivalence,
+)
 from repro.engine import Engine, ResultCache, RunSpec
-from repro.faults import FaultConfig
+from repro.faults import FaultConfig, LifecycleConfig
 from repro.lint import LintError, LintReport, lint_pair, lint_program
 from repro.machine import (
     CacheConfig,
@@ -46,9 +51,11 @@ __all__ = [
     "CacheConfig",
     "NetworkConfig",
     "FaultConfig",
+    "LifecycleConfig",
     "CheckFailure",
     "check_result",
     "replay_check",
+    "zero_lifecycle_equivalence",
     "LintError",
     "LintReport",
     "lint_program",

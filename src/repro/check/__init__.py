@@ -12,13 +12,19 @@ per-application result validator:
   byte-identical :class:`~repro.machine.stats.SimStats` at any engine
   worker count and across cache cold/warm runs;
 * :func:`zero_fault_equivalence` — an *inert* fault config must be
-  indistinguishable from no fault config at all.
+  indistinguishable from no fault config at all;
+* :func:`zero_lifecycle_equivalence` — a lifecycle that never
+  transitions must change no simulated observable beyond reporting an
+  all-up availability ledger (and active lifecycles must satisfy the
+  per-component conservation law ``uptime + downtime + repair == wall``,
+  enforced by :func:`check_result`).
 """
 
 from repro.check.golden import (
     canonical_stats,
     replay_check,
     zero_fault_equivalence,
+    zero_lifecycle_equivalence,
 )
 from repro.check.invariants import CheckFailure, check_result, result_problems
 
@@ -29,4 +35,5 @@ __all__ = [
     "canonical_stats",
     "replay_check",
     "zero_fault_equivalence",
+    "zero_lifecycle_equivalence",
 ]

@@ -30,24 +30,28 @@ def replay_check(
     spec: RunSpec,
     workers: Sequence[int] = (1, 2),
     cache_dir: Optional[str] = None,
+    backends: Sequence[str] = (),
 ) -> str:
     """Run *spec* under each worker count (each in a fresh engine) and
     assert the serialized stats are byte-identical; with *cache_dir*,
-    additionally assert a cache-warm rerun reproduces the cache-cold one.
+    additionally assert a cache-warm rerun reproduces the cache-cold one,
+    and with *backends* (e.g. ``("interpreter", "compiled")``) that every
+    execution backend reproduces the same stats.
 
     Returns the canonical stats string; raises :class:`CheckFailure` on
     any divergence.
     """
     reference: Optional[str] = None
     reference_tag = ""
-    runs = [(f"workers={count}", count, None) for count in workers]
+    runs = [(f"workers={count}", count, None, None) for count in workers]
     if cache_dir is not None:
         runs += [
-            ("cache-cold", 1, cache_dir),
-            ("cache-warm", 1, cache_dir),
+            ("cache-cold", 1, cache_dir, None),
+            ("cache-warm", 1, cache_dir, None),
         ]
-    for tag, count, cache in runs:
-        with Engine(workers=count, cache=cache) as engine:
+    runs += [(f"backend={name}", 1, None, name) for name in backends]
+    for tag, count, cache, backend in runs:
+        with Engine(workers=count, cache=cache, backend=backend) as engine:
             result = engine.run(spec)
             serialized = canonical_stats(result.stats)
         if reference is None:
@@ -83,5 +87,46 @@ def zero_fault_equivalence(spec: RunSpec) -> SimulationResult:
     if canonical_stats(bare_result.stats) != canonical_stats(inert_result.stats):
         raise CheckFailure(
             f"inert fault config perturbed the run: {spec.label()}"
+        )
+    return bare_result
+
+
+def zero_lifecycle_equivalence(spec: RunSpec) -> SimulationResult:
+    """An *inert* lifecycle must not perturb the simulation.
+
+    Runs *spec* twice — once with any ``faults`` override stripped, once
+    with a lifecycle that never transitions (``mean_healthy=0``) — and
+    asserts identical stats apart from the availability ledger itself,
+    which must report every component fully up.  This pins the
+    fast-path-preservation contract: configuring lifecycles without
+    scheduling any transition changes no simulated observable.
+    """
+    from repro.faults import FaultConfig, LifecycleConfig
+
+    overrides = {key: value for key, value in spec.overrides if key != "faults"}
+    bare = dataclasses.replace(spec, overrides=tuple(sorted(overrides.items())))
+    inert_faults = FaultConfig(lifecycle=LifecycleConfig(mean_healthy=0))
+    inert = dataclasses.replace(
+        bare,
+        overrides=tuple(sorted({**overrides, "faults": inert_faults}.items())),
+    )
+    with Engine() as engine:
+        bare_result = engine.run(bare)
+        inert_result = engine.run(inert)
+    bare_dict = bare_result.stats.to_dict()
+    inert_dict = inert_result.stats.to_dict()
+    ledger = inert_dict.pop("component_availability")
+    bare_dict.pop("component_availability")
+    if bare_dict != inert_dict:
+        raise CheckFailure(
+            f"inert lifecycle perturbed the run: {spec.label()}"
+        )
+    wall = inert_result.stats.wall_cycles
+    if len(ledger) != inert_faults.lifecycle.components or any(
+        comp["uptime_cycles"] != wall or comp["failures"]
+        for comp in ledger
+    ):
+        raise CheckFailure(
+            f"inert lifecycle availability ledger is wrong: {spec.label()}"
         )
     return bare_result

@@ -59,7 +59,10 @@ def result_problems(result: SimulationResult) -> List[str]:
         )
 
     faults = config.faults
-    if faults is None or not faults.injects_faults:
+    if faults is None or not (faults.injects_faults or faults.drives_lifecycles):
+        # Active lifecycles legitimately drop replies (component outages
+        # NACK) — only then may the retry machinery fire without
+        # loss/delay rates.
         fired = {
             name: getattr(stats, name)
             for name in (
@@ -73,6 +76,8 @@ def result_problems(result: SimulationResult) -> List[str]:
                 f"fault machinery fired with faults off: {fired}"
             )
 
+    problems.extend(_lifecycle_problems(stats, faults))
+
     for thread in result.threads:  # empty for cache-restored results
         if not thread.halted:
             problems.append(f"thread {thread.tid} never halted")
@@ -81,6 +86,61 @@ def result_problems(result: SimulationResult) -> List[str]:
                 f"thread {thread.tid} holds in-flight registers at halt: "
                 f"{dict(thread.inflight)}"
             )
+    return problems
+
+
+def _lifecycle_problems(stats, faults) -> List[str]:
+    """Conservation laws of the component-availability ledger
+    (repro.faults.lifecycle): the ledger exists iff a lifecycle is
+    configured, covers every component, and attributes every cycle of
+    ``[0, wall)`` to exactly one of uptime / downtime / repair."""
+    problems: List[str] = []
+    ledger = stats.component_availability
+    lifecycle = faults.lifecycle if faults is not None else None
+    if lifecycle is None:
+        if ledger:
+            problems.append(
+                f"availability ledger present ({len(ledger)} components) "
+                "without a lifecycle config"
+            )
+        return problems
+    if len(ledger) != lifecycle.components:
+        problems.append(
+            f"availability ledger covers {len(ledger)} components, "
+            f"config has {lifecycle.components}"
+        )
+        return problems
+    wall = stats.wall_cycles
+    for comp in ledger:
+        ident = f"component {comp['component']}"
+        total = (
+            comp["uptime_cycles"] + comp["downtime_cycles"] + comp["repair_cycles"]
+        )
+        if total != wall:
+            problems.append(
+                f"availability conservation: {ident} accounts {total} "
+                f"cycles != wall {wall}"
+            )
+        if comp["degraded_cycles"] > comp["uptime_cycles"]:
+            problems.append(
+                f"{ident} degraded {comp['degraded_cycles']} cycles "
+                f"exceed uptime {comp['uptime_cycles']}"
+            )
+        if not comp["failures"] >= comp["repairs"] >= comp["failures"] - 1:
+            problems.append(
+                f"{ident} repairs {comp['repairs']} inconsistent with "
+                f"failures {comp['failures']} (at most one outage open)"
+            )
+        if any(value < 0 for key, value in comp.items() if key != "component"):
+            problems.append(f"{ident} has negative availability counters")
+    if not lifecycle.active and (
+        stats.lifecycle_failures or stats.lifecycle_degraded_cycles
+    ):
+        problems.append(
+            "inactive lifecycle reported failures/degradation: "
+            f"failures={stats.lifecycle_failures} "
+            f"degraded={stats.lifecycle_degraded_cycles}"
+        )
     return problems
 
 

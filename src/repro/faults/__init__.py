@@ -15,10 +15,23 @@ machine (see DESIGN §5d):
   delivery decisions, hashed from ``(seed, transaction, attempt)``;
 * :class:`RetryLimitExceeded` — raised when the NACK/retry protocol in
   :class:`~repro.machine.processor.Processor` exhausts its attempt
-  budget.
+  budget;
+* :class:`LifecycleConfig` / :func:`build_lifecycle_plan` — stateful
+  degradation-and-repair lifecycles per memory component (HEALTHY →
+  DEGRADED → FAILED → REPAIRING → HEALTHY) with per-component
+  availability accounting (see DESIGN §5i).
 """
 
-from repro.faults.config import FaultConfig, LATENCY_MODELS
+from repro.faults.config import FaultConfig, LATENCY_MODELS, LifecycleConfig
+from repro.faults.lifecycle import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    REPAIRING,
+    STATE_NAMES,
+    LifecyclePlan,
+    build_lifecycle_plan,
+)
 from repro.faults.latency import (
     ConstantLatency,
     GeometricJitterLatency,
@@ -31,6 +44,14 @@ from repro.faults.plan import FaultPlan, RetryLimitExceeded, build_fault_plan
 
 __all__ = [
     "FaultConfig",
+    "LifecycleConfig",
+    "LifecyclePlan",
+    "build_lifecycle_plan",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "REPAIRING",
+    "STATE_NAMES",
     "LATENCY_MODELS",
     "LatencyModel",
     "ConstantLatency",

@@ -7,11 +7,91 @@ machine layer can import it without cycles.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 #: Recognised round-trip latency model names (see
 #: :mod:`repro.faults.latency`).
 LATENCY_MODELS = ("constant", "uniform", "geometric", "hotspot")
+
+
+@dataclasses.dataclass(frozen=True)
+class LifecycleConfig:
+    """Seed-deterministic degradation-and-repair lifecycles for the
+    machine's memory modules / interconnect links.
+
+    Each of ``components`` interleaved components (addresses map to a
+    component by ``addr % components``) walks HEALTHY → DEGRADED (one or
+    more stages, each stretching the round trip) → FAILED (every request
+    is NACKed) → REPAIRING → HEALTHY, on a cycle-stamped transition
+    schedule derived from splitmix64 draws — the full trajectory is a
+    pure function of ``(seed, component)``, independent of event order,
+    worker count and backend (see :mod:`repro.faults.lifecycle`).
+
+    ``mean_healthy=0`` makes the lifecycle *inert*: components are
+    configured (availability stats are reported) but never leave
+    HEALTHY, so the simulated behaviour matches a lifecycle-free run.
+    """
+
+    #: Number of interleaved components the address space maps onto.
+    components: int = 4
+    #: Seed for every transition-duration draw.
+    seed: int = 0
+    #: Mean cycles spent HEALTHY before degrading (0 = never degrade).
+    mean_healthy: int = 20_000
+    #: Mean cycles per DEGRADED stage.
+    mean_degraded: int = 4_000
+    #: Mean cycles spent hard-FAILED (all requests NACKed).
+    mean_failed: int = 1_000
+    #: Mean cycles spent REPAIRING (still down) before returning.
+    mean_repair: int = 2_000
+    #: DEGRADED stages walked before the hard failure.
+    degrade_stages: int = 1
+    #: Round-trip multiplier at degraded stage *s* is
+    #: ``1 + s*(degraded_scale - 1)``.
+    degraded_scale: float = 1.5
+    #: Additional flat cycles per degraded stage.
+    degraded_shift: int = 0
+    #: How many components actually walk the lifecycle (ids ``0 ..
+    #: affected-1``); ``None`` = all of them, ``0`` = none (inert).
+    affected: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.components < 1:
+            raise ValueError("components must be >= 1")
+        for name in ("mean_healthy", "mean_degraded", "mean_failed", "mean_repair"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.degrade_stages < 1:
+            raise ValueError("degrade_stages must be >= 1")
+        if self.degraded_scale < 1.0:
+            raise ValueError("degraded_scale must be >= 1.0")
+        if self.degraded_shift < 0:
+            raise ValueError("degraded_shift must be non-negative")
+        if self.affected is not None and not 0 <= self.affected <= self.components:
+            raise ValueError("affected must be in [0, components]")
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any component can ever leave HEALTHY."""
+        return self.mean_healthy > 0 and (self.affected is None or self.affected > 0)
+
+    def is_affected(self, component: int) -> bool:
+        """Whether *component* walks the lifecycle (vs. staying healthy)."""
+        if not self.active:
+            return False
+        return self.affected is None or component < self.affected
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LifecycleConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,8 +135,20 @@ class FaultConfig:
     #: the per-request service occupancy of a module, in cycles.
     hotspot_modules: int = 16
     hotspot_service: int = 4
+    #: Optional stateful degradation-and-repair lifecycles (a
+    #: :class:`LifecycleConfig`, or a mapping thereof — lifted here so
+    #: JSON round trips rebuild the nested dataclass).
+    lifecycle: Optional[LifecycleConfig] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.lifecycle, dict):
+            object.__setattr__(
+                self, "lifecycle", LifecycleConfig.from_dict(self.lifecycle)
+            )
+        if self.lifecycle is not None and not isinstance(
+            self.lifecycle, LifecycleConfig
+        ):
+            raise ValueError("lifecycle must be a LifecycleConfig or mapping")
         if self.latency_model not in LATENCY_MODELS:
             raise ValueError(
                 f"unknown latency model {self.latency_model!r} "
@@ -90,9 +182,27 @@ class FaultConfig:
         return self.latency_model != "constant"
 
     @property
+    def has_lifecycles(self) -> bool:
+        """Whether component lifecycles are configured at all (even an
+        inactive lifecycle reports availability stats)."""
+        return self.lifecycle is not None
+
+    @property
+    def drives_lifecycles(self) -> bool:
+        """Whether some component can actually degrade or fail — the
+        condition that forces the simulator's faulty delivery paths."""
+        return self.lifecycle is not None and self.lifecycle.active
+
+    @property
     def inert(self) -> bool:
-        """An inert config must behave exactly like ``faults=None``."""
-        return not (self.injects_faults or self.perturbs_latency)
+        """An inert config must behave exactly like ``faults=None``.
+
+        Any configured lifecycle — even one that never transitions —
+        breaks inertness, because availability stats are then reported.
+        """
+        return not (
+            self.injects_faults or self.perturbs_latency or self.has_lifecycles
+        )
 
     # -- serialization ---------------------------------------------------------
 

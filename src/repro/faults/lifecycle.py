@@ -1,0 +1,251 @@
+"""Stateful component lifecycles: degradation, failure and repair.
+
+Each component (a memory module / interconnect link; addresses map to a
+component by ``addr % components``) walks the cycle
+
+    HEALTHY -> DEGRADED(1) .. DEGRADED(k) -> FAILED -> REPAIRING -> HEALTHY
+
+forever.  Segment durations are splitmix64 draws keyed on ``(seed,
+component, epoch, phase)``, so the whole transition schedule — and
+therefore the component's state at any cycle — is a pure function of the
+:class:`~repro.faults.config.LifecycleConfig`.  That is the property the
+replay / backend-equivalence checks in :mod:`repro.check` rely on: no
+simulator state feeds back into the schedule, so worker count, cache
+state and execution backend cannot perturb it.
+
+Service semantics, from the simulator's point of view:
+
+* DEGRADED stage *s* stretches the round trip of requests *issued*
+  while degraded: ``rt' = rt * (1 + s*(scale-1)) + s*shift``.
+* FAILED / REPAIRING components NACK every request that *arrives* while
+  they are down — the reply is dropped into the existing NACK/retry
+  protocol, and the NACK carries a deterministic retry-after hint (the
+  scheduled recovery cycle) so retries land after the outage instead of
+  burning the attempt budget.
+
+Durations are integer draws uniform in ``[1, 2*mean - 1]`` (mean =
+``mean``), all integer arithmetic — bit-identical on every platform.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.config import FaultConfig, LifecycleConfig
+from repro.faults.rng import bounded
+
+#: Component service states, in walk order.
+HEALTHY = 0
+DEGRADED = 1
+FAILED = 2
+REPAIRING = 3
+
+STATE_NAMES = ("HEALTHY", "DEGRADED", "FAILED", "REPAIRING")
+
+#: Domain-separation tags: the four phase durations of one epoch are
+#: independent draws (DEGRADED adds the stage number to its tag).
+_HEALTHY_TAG = 0x11EA
+_DEGRADED_TAG = 0x2DE6
+_FAILED_TAG = 0x3FA1
+_REPAIR_TAG = 0x4E9A
+
+
+def _duration(mean: int, *key: int) -> int:
+    """Deterministic phase duration: uniform in ``[1, 2*mean - 1]``
+    (mean *mean*), or 1 when the mean is degenerate."""
+    if mean <= 1:
+        return 1
+    return 1 + bounded(2 * mean - 2, *key)
+
+
+class LifecyclePlan:
+    """Lazily materialised transition schedules for every component.
+
+    The schedule for a component is a pair of parallel lists — segment
+    start cycles and ``(state, stage)`` codes — extended epoch by epoch
+    on demand.  Extension is monotone and query-order independent:
+    asking about cycle *t* materialises exactly the epochs up to *t*,
+    and every draw depends only on ``(seed, component, epoch, phase)``.
+    """
+
+    __slots__ = (
+        "config",
+        "static",
+        "_affected",
+        "_times",
+        "_states",
+        "_epochs",
+        "_horizons",
+    )
+
+    def __init__(self, config: LifecycleConfig):
+        self.config = config
+        #: A static plan never leaves HEALTHY — the simulator keeps its
+        #: fast delivery paths and only availability stats are reported.
+        self.static = not config.active
+        n = config.components
+        self._affected = [config.is_affected(comp) for comp in range(n)]
+        self._times: List[List[int]] = [[0] for _ in range(n)]
+        self._states: List[List[Tuple[int, int]]] = [[(HEALTHY, 0)] for _ in range(n)]
+        self._epochs = [0] * n
+        #: First cycle not covered by the materialised schedule (the
+        #: start of the next epoch's HEALTHY segment).
+        self._horizons = [0] * n
+
+    # -- schedule construction -------------------------------------------------
+
+    def component(self, addr: int) -> int:
+        """The component serving address (or cache line) *addr*."""
+        return addr % self.config.components
+
+    def _extend_epoch(self, comp: int) -> None:
+        cfg = self.config
+        epoch = self._epochs[comp]
+        times, states = self._times[comp], self._states[comp]
+        t = self._horizons[comp]
+        t += _duration(cfg.mean_healthy, cfg.seed, comp, epoch, _HEALTHY_TAG)
+        for stage in range(1, cfg.degrade_stages + 1):
+            times.append(t)
+            states.append((DEGRADED, stage))
+            t += _duration(
+                cfg.mean_degraded, cfg.seed, comp, epoch, _DEGRADED_TAG + stage
+            )
+        times.append(t)
+        states.append((FAILED, 0))
+        t += _duration(cfg.mean_failed, cfg.seed, comp, epoch, _FAILED_TAG)
+        times.append(t)
+        states.append((REPAIRING, 0))
+        t += _duration(cfg.mean_repair, cfg.seed, comp, epoch, _REPAIR_TAG)
+        times.append(t)
+        states.append((HEALTHY, 0))
+        self._epochs[comp] = epoch + 1
+        self._horizons[comp] = t
+
+    def _ensure(self, comp: int, time: int) -> None:
+        if self._affected[comp]:
+            while self._horizons[comp] <= time:
+                self._extend_epoch(comp)
+
+    # -- queries ---------------------------------------------------------------
+
+    def state_at(self, comp: int, time: int) -> Tuple[int, int]:
+        """``(state, stage)`` of *comp* at cycle *time* (stage is 0
+        outside DEGRADED)."""
+        if not self._affected[comp]:
+            return (HEALTHY, 0)
+        self._ensure(comp, time)
+        index = bisect_right(self._times[comp], time) - 1
+        return self._states[comp][index]
+
+    def stretch(self, rt: int, addr: int, time: int) -> int:
+        """The round trip for a request to *addr* issued at *time*,
+        stretched if its component is degraded."""
+        if self.static:
+            return rt
+        state, stage = self.state_at(self.component(addr), time)
+        if state == DEGRADED:
+            cfg = self.config
+            rt = int(rt * (1.0 + stage * (cfg.degraded_scale - 1.0)))
+            rt += stage * cfg.degraded_shift
+        return rt
+
+    def outage_until(self, addr: int, time: int) -> int:
+        """0 when the component serving *addr* is up at *time*; else the
+        absolute cycle at which it returns to HEALTHY (the deterministic
+        retry-after hint carried by outage NACKs)."""
+        if self.static:
+            return 0
+        comp = self.component(addr)
+        state, _ = self.state_at(comp, time)
+        if state != FAILED and state != REPAIRING:
+            return 0
+        times, states = self._times[comp], self._states[comp]
+        index = bisect_right(times, time) - 1
+        while True:
+            index += 1
+            if index >= len(times):
+                return self._horizons[comp]
+            if states[index][0] == HEALTHY:
+                return times[index]
+
+    # -- post-run accounting ---------------------------------------------------
+
+    def transitions(self, limit: int) -> Iterator[Tuple[int, int, int, int]]:
+        """Every transition in ``(0, limit)``, ordered by (time,
+        component): ``(time, component, state, stage)``.  The open upper
+        bound matches :meth:`availability`, which accounts the interval
+        ``[0, limit)`` — transition trace events and the failure/repair
+        counters in the stats agree by construction."""
+        events = []
+        for comp in range(self.config.components):
+            if not self._affected[comp]:
+                continue
+            if limit > 0:
+                self._ensure(comp, limit - 1)
+            times, states = self._times[comp], self._states[comp]
+            for index in range(1, len(times)):
+                if times[index] >= limit:
+                    break
+                state, stage = states[index]
+                events.append((times[index], comp, state, stage))
+        return iter(sorted(events))
+
+    def availability(self, wall: int) -> List[Dict[str, int]]:
+        """Per-component availability ledger over ``[0, wall)``: every
+        cycle is attributed to exactly one of uptime / downtime /
+        repair (degraded cycles are a subset of uptime), so
+        ``uptime + downtime + repair == wall`` — the conservation law
+        :func:`repro.check.invariants.result_problems` enforces."""
+        ledger = []
+        for comp in range(self.config.components):
+            uptime = degraded = downtime = repair = 0
+            failures = repairs = 0
+            if self._affected[comp] and wall > 0:
+                self._ensure(comp, wall - 1)
+            times, states = self._times[comp], self._states[comp]
+            for index, start in enumerate(times):
+                if start >= wall:
+                    break
+                end = times[index + 1] if index + 1 < len(times) else wall
+                span = min(end, wall) - start
+                state, _stage = states[index]
+                if state == FAILED:
+                    downtime += span
+                elif state == REPAIRING:
+                    repair += span
+                else:
+                    uptime += span
+                    if state == DEGRADED:
+                        degraded += span
+                if index > 0:
+                    if state == FAILED:
+                        failures += 1
+                    elif state == HEALTHY:
+                        repairs += 1
+            if not self._affected[comp]:
+                uptime = wall
+            ledger.append(
+                {
+                    "component": comp,
+                    "uptime_cycles": uptime,
+                    "degraded_cycles": degraded,
+                    "downtime_cycles": downtime,
+                    "repair_cycles": repair,
+                    "failures": failures,
+                    "repairs": repairs,
+                }
+            )
+        return ledger
+
+
+def build_lifecycle_plan(
+    config: Optional[FaultConfig],
+) -> Optional[LifecyclePlan]:
+    """Instantiate the plan, or ``None`` when no lifecycle is
+    configured.  Inactive lifecycles still get a (static) plan so the
+    availability ledger is reported; only *active* ones force the
+    simulator's faulty delivery paths."""
+    if config is None or config.lifecycle is None:
+        return None
+    return LifecyclePlan(config.lifecycle)

@@ -59,8 +59,15 @@ class FaultPlan:
 
 def build_fault_plan(config: FaultConfig) -> Optional[FaultPlan]:
     """Instantiate the plan, or ``None`` when no faults are configured
-    (the simulator then keeps its original single-event delivery path)."""
-    if not config.injects_faults:
+    (the simulator then keeps its original single-event delivery path).
+
+    An *active* component lifecycle also forces a plan — possibly one
+    with zero loss/delay rates — because the lifecycle's outage NACKs
+    and degraded-latency stretches live on the faulty delivery paths
+    (which is also what keys the compiled backend onto the
+    Simulator-method variants, keeping the JIT correct by construction).
+    """
+    if not config.injects_faults and not config.drives_lifecycles:
         return None
     return FaultPlan(
         config.seed, config.loss_rate, config.delay_rate, config.delay_cycles

@@ -12,7 +12,12 @@ These probe the design choices DESIGN.md calls out:
 * *forced-interval study* — Section 6.2's critical-section fix: turn the
   200-cycle cap off and watch lock-heavy ugray degrade;
 * *fault sensitivity* — latency jitter, hot-spot contention and dropped
-  replies (NACK/retry) vs the explicit- vs conditional-switch ranking.
+  replies (NACK/retry) vs the explicit- vs conditional-switch ranking;
+* *degradation sweep* — seed-deterministic component lifecycles
+  (HEALTHY→DEGRADED→FAILED→REPAIRING, DESIGN §5i): efficiency and
+  availability vs the number of degrading memory components, per switch
+  model — does multithreading's latency tolerance extend to *partial
+  outages*?
 """
 
 from __future__ import annotations
@@ -303,6 +308,84 @@ def fault_sensitivity(
     return table.render(), data
 
 
+def degradation_sweep(
+    ctx: ExperimentContext,
+    app_name: str = "sieve",
+    affected_counts: List[int] = (0, 1, 2, 4),
+    level: int = 4,
+    components: int = 8,
+) -> Tuple[str, Dict]:
+    """Efficiency and availability vs the number of degrading components.
+
+    Every scenario walks the same seeded lifecycle schedule
+    (:mod:`repro.faults.lifecycle`); only ``affected`` — how many of the
+    ``components`` interleaved memory components actually degrade and
+    fail — varies.  ``affected=0`` is the inert control: lifecycles
+    configured, zero transitions, byte-identical simulation (the
+    fast-path contract :func:`repro.check.zero_lifecycle_equivalence`
+    pins).  The means are short relative to these small runs so every
+    scenario sees several full degrade/fail/repair cycles.
+    """
+    from repro.faults import FaultConfig, LifecycleConfig
+
+    def faults_for(affected: int) -> FaultConfig:
+        return FaultConfig(
+            lifecycle=LifecycleConfig(
+                components=components,
+                seed=7,
+                mean_healthy=4_000,
+                mean_degraded=2_000,
+                mean_failed=800,
+                mean_repair=1_200,
+                affected=affected,
+            )
+        )
+
+    models = (SwitchModel.EXPLICIT_SWITCH, SwitchModel.CONDITIONAL_SWITCH)
+    table = TextTable(
+        f"Ablation: component degradation, {app_name} "
+        f"(P={ctx.processors}, M={level}, {components} components)",
+        ["degrading"]
+        + [f"{model.value} eff" for model in models]
+        + ["failures", "downtime cy", "nacks"],
+    )
+    ctx.prefetch(
+        ctx.spec(app_name, model, ctx.processors, level,
+                 faults=faults_for(affected))
+        for affected in affected_counts
+        for model in models
+    )
+    data: Dict[int, Dict] = {}
+    for affected in affected_counts:
+        row = [f"{affected}/{components}"]
+        failures = downtime = nacks = 0
+        entry: Dict = {}
+        for model in models:
+            result = ctx.run(
+                app_name, model, ctx.processors, level,
+                faults=faults_for(affected),
+            )
+            efficiency = ctx.efficiency(result, app_name)
+            row.append(f"{efficiency:.2f}")
+            stats = result.stats
+            failures += stats.lifecycle_failures
+            downtime += stats.lifecycle_downtime_cycles
+            nacks += stats.nacks
+            entry[model.value] = {
+                "efficiency": efficiency,
+                "failures": stats.lifecycle_failures,
+                "downtime_cycles": stats.lifecycle_downtime_cycles,
+                "degraded_cycles": stats.lifecycle_degraded_cycles,
+                "nacks": stats.nacks,
+                "mttf": stats.mttf(),
+                "mttr": stats.mttr(),
+            }
+        row += [failures, downtime, nacks]
+        table.add_row(row)
+        data[affected] = entry
+    return table.render(), data
+
+
 ALL_ABLATIONS = {
     "latency": latency_sweep,
     "shootout": model_shootout,
@@ -310,4 +393,5 @@ ALL_ABLATIONS = {
     "forced-interval": forced_interval_study,
     "jitter": jitter_study,
     "faults": fault_sensitivity,
+    "degradation": degradation_sweep,
 }

@@ -219,7 +219,9 @@ class Processor:
                 index = 0
         # All threads on this processor have halted; the processor stops.
 
-    def nack(self, time: int, tid: int, txn: int, ftxn: int, attempt: int) -> int:
+    def nack(
+        self, time: int, tid: int, txn: int, ftxn: int, attempt: int, hint: int = 0
+    ) -> int:
         """Account one lost reply (NACK) and return the retry backoff.
 
         Capped exponential backoff in cycles — ``min(base << (attempt-1),
@@ -229,6 +231,12 @@ class Processor:
         pathological loss rate surfaces as a diagnosable failure instead
         of an eventual ``SimulationTimeout``.  Cold path by construction:
         only lost replies ever reach it.
+
+        *hint*, when non-zero, is the absolute cycle at which the NACKing
+        component is scheduled to return to service (component-lifecycle
+        outages know their own repair schedule); the backoff stretches to
+        at least reach it, so a long outage costs one retry instead of
+        the whole attempt budget.
         """
         faults = self.sim.fault_config
         if attempt >= faults.max_retries:
@@ -239,6 +247,8 @@ class Processor:
         backoff = faults.backoff_base << (attempt - 1)
         if backoff > faults.backoff_cap:
             backoff = faults.backoff_cap
+        if hint > time + backoff:
+            backoff = hint - time
         stats = self.sim.stats
         stats.nacks += 1
         stats.backoff_cycles += backoff

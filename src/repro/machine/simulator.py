@@ -29,6 +29,7 @@ from heapq import heappush
 from typing import Callable, List, Optional, Sequence
 
 from repro.faults import build_fault_plan, build_latency_model
+from repro.faults.lifecycle import DEGRADED, FAILED, HEALTHY, build_lifecycle_plan
 from repro.isa.program import Program
 from repro.machine.cache import Cache
 from repro.machine.config import MachineConfig
@@ -201,12 +202,28 @@ class Simulator:
         if config.faults is not None:
             self._latency_model = build_latency_model(config.faults, config.latency)
             self._fault_plan = build_fault_plan(config.faults)
+        #: Component degradation-and-repair lifecycles (repro.faults.
+        #: lifecycle).  ``_lifecycle`` exists whenever one is configured
+        #: (availability stats are always reported then);
+        #: ``_lifecycle_active`` is non-None only when components can
+        #: actually transition — that is what perturbs round trips and
+        #: NACKs requests, and build_fault_plan guarantees a plan exists
+        #: then, so all lifecycle service decisions ride the faulty
+        #: delivery paths (interpreter and compiled alike).
+        self._lifecycle = build_lifecycle_plan(config.faults)
+        self._lifecycle_active = (
+            self._lifecycle
+            if self._lifecycle is not None and not self._lifecycle.static
+            else None
+        )
         #: Constant round trip for the common (no fault model, no jitter)
         #: machine, or None when _round_trip must actually be consulted —
         #: saves two Python calls per memory transaction on hot paths.
         self._fixed_rt = (
             self.latency
-            if self._latency_model is None and not self._jitter_range
+            if self._latency_model is None
+            and not self._jitter_range
+            and self._lifecycle_active is None
             else None
         )
         #: Hoisted cache-line geometry for per-transaction arithmetic.
@@ -287,6 +304,21 @@ class Simulator:
         if self.oracle_caches is not None:
             self.stats.oracle_hits = sum(olc.hits for olc in self.oracle_caches)
             self.stats.oracle_misses = sum(olc.misses for olc in self.oracle_caches)
+        if self._lifecycle is not None:
+            wall = self.last_halt_time
+            # The schedule is a pure function of the config, so folding
+            # it after the event loop (rather than on live transitions)
+            # cannot diverge from what the memory paths observed — and
+            # keeps the heap free of lifecycle bookkeeping events.
+            self.stats.component_availability = self._lifecycle.availability(wall)
+            if self.tracer is not None:
+                for when, comp, state, stage in self._lifecycle.transitions(wall):
+                    if state == DEGRADED:
+                        self.tracer.component_degrade(when, comp, stage)
+                    elif state == FAILED:
+                        self.tracer.component_fail(when, comp)
+                    elif state == HEALTHY:
+                        self.tracer.component_repair(when, comp)
         return SimulationResult(
             self.last_halt_time,
             self.stats,
@@ -312,6 +344,12 @@ class Simulator:
                 f"faults={faults.latency_model}"
                 f"/loss={faults.loss_rate}/delay={faults.delay_rate}"
                 f"/seed={faults.seed}"
+            )
+        if faults is not None and faults.has_lifecycles:
+            lc = faults.lifecycle
+            parts.append(
+                f"lifecycle={lc.components}c/seed={lc.seed}"
+                + ("" if lc.active else "/inert")
             )
         return " ".join(parts)
 
@@ -342,8 +380,13 @@ class Simulator:
         and bit-exact; otherwise the pluggable model decides."""
         model = self._latency_model
         if model is None:
-            return self.latency + self._jitter(time, addr)
-        return model.round_trip(time, addr)
+            rt = self.latency + self._jitter(time, addr)
+        else:
+            rt = model.round_trip(time, addr)
+        lifecycle = self._lifecycle_active
+        if lifecycle is not None:
+            rt = lifecycle.stretch(rt, addr, time)
+        return rt
 
     def _mark_inflight(
         self, thread: ThreadContext, dest: int, nwords: int, ready: int
@@ -425,6 +468,22 @@ class Simulator:
         """Request arrival at memory when a fault plan is active: decide
         the reply's fate, then deliver, delay, or NACK."""
         addr, nwords, thread, dest, ready, txn, ftxn, attempt, sync = arg
+        lifecycle = self._lifecycle_active
+        if lifecycle is not None:
+            # A FAILED/REPAIRING module NACKs every request that arrives
+            # while it is down.  The NACK carries the scheduled recovery
+            # cycle so the retry backs off past the outage instead of
+            # burning the attempt budget.
+            recover = lifecycle.outage_until(addr, time)
+            if recover:
+                self.stats.replies_dropped += 1
+                self.schedule(
+                    ready,
+                    self._load_nack_event,
+                    (addr, nwords, thread, dest, txn, ftxn, attempt, sync, recover),
+                    priority=1,
+                )
+                return
         lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
         if lost:
             # The reply vanishes in flight; the issuing processor notices
@@ -434,7 +493,7 @@ class Simulator:
             self.schedule(
                 ready,
                 self._load_nack_event,
-                (addr, nwords, thread, dest, txn, ftxn, attempt, sync),
+                (addr, nwords, thread, dest, txn, ftxn, attempt, sync, 0),
                 priority=1,
             )
             return
@@ -471,9 +530,9 @@ class Simulator:
 
     def _load_nack_event(self, time: int, arg) -> None:
         """The issuing processor detects a lost load reply and retries."""
-        addr, nwords, thread, dest, txn, ftxn, attempt, sync = arg
+        addr, nwords, thread, dest, txn, ftxn, attempt, sync, hint = arg
         pid = self._pid_of(thread.tid)
-        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt)
+        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt, hint)
         reissue = time + backoff
         kind = MsgKind.READ if nwords == 1 else MsgKind.READ2
         self.stats.count_message(kind, sync)  # retries re-spend bandwidth
@@ -595,6 +654,21 @@ class Simulator:
 
     def _faulty_faa_event(self, time: int, arg) -> None:
         addr, thread, dest, addend, ready, txn, ftxn, attempt, sync = arg
+        lifecycle = self._lifecycle_active
+        if lifecycle is not None:
+            # A down module rejects the request before the add is
+            # applied (no replay entry): the retry after recovery
+            # performs the one and only application.
+            recover = lifecycle.outage_until(addr, time)
+            if recover:
+                self.stats.replies_dropped += 1
+                self.schedule(
+                    ready,
+                    self._faa_nack_event,
+                    (addr, thread, dest, addend, txn, ftxn, attempt, sync, recover),
+                    priority=1,
+                )
+                return
         old = self._faa_apply(time, addr, addend, ftxn)
         lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
         if lost:
@@ -605,7 +679,7 @@ class Simulator:
             self.schedule(
                 ready,
                 self._faa_nack_event,
-                (addr, thread, dest, addend, txn, ftxn, attempt, sync),
+                (addr, thread, dest, addend, txn, ftxn, attempt, sync, 0),
                 priority=1,
             )
             return
@@ -625,9 +699,9 @@ class Simulator:
             self.tracer.mem_complete(ready, self._pid_of(thread.tid), thread.tid, txn)
 
     def _faa_nack_event(self, time: int, arg) -> None:
-        addr, thread, dest, addend, txn, ftxn, attempt, sync = arg
+        addr, thread, dest, addend, txn, ftxn, attempt, sync, hint = arg
         pid = self._pid_of(thread.tid)
-        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt)
+        backoff = self.processors[pid].nack(time, thread.tid, txn, ftxn, attempt, hint)
         reissue = time + backoff
         self.stats.count_message(MsgKind.FAA, sync)
         self.stats.retries += 1
@@ -736,13 +810,27 @@ class Simulator:
     def _faulty_line_read_event(self, time: int, arg) -> None:
         """Line-fill request arrival at memory under a fault plan."""
         line, pid, fill_ready, txn, ftxn, attempt, sync = arg
+        lifecycle = self._lifecycle_active
+        if lifecycle is not None:
+            # Lines map to components exactly like word addresses do —
+            # by index modulo the component count.
+            recover = lifecycle.outage_until(line, time)
+            if recover:
+                self.stats.replies_dropped += 1
+                self.schedule(
+                    fill_ready,
+                    self._fill_nack_event,
+                    (line, pid, txn, ftxn, attempt, sync, recover),
+                    priority=1,
+                )
+                return
         lost, delay = self._fault_plan.reply_fate(ftxn, attempt)
         if lost:
             self.stats.replies_dropped += 1
             self.schedule(
                 fill_ready,
                 self._fill_nack_event,
-                (line, pid, txn, ftxn, attempt, sync),
+                (line, pid, txn, ftxn, attempt, sync, 0),
                 priority=1,
             )
             return
@@ -762,9 +850,9 @@ class Simulator:
 
     def _fill_nack_event(self, time: int, arg) -> None:
         """The requesting processor detects a lost fill and retries it."""
-        line, pid, txn, ftxn, attempt, sync = arg
+        line, pid, txn, ftxn, attempt, sync, hint = arg
         proc = self.processors[pid]
-        backoff = proc.nack(time, -1, txn, ftxn, attempt)
+        backoff = proc.nack(time, -1, txn, ftxn, attempt, hint)
         reissue = time + backoff
         self.stats.count_message(MsgKind.LINE_READ, sync)
         self.stats.retries += 1

@@ -85,6 +85,14 @@ class SimStats:
         #: buffer (the add was *not* applied twice).
         self.faa_replays = 0
 
+        #: Component-lifecycle availability ledger (repro.faults.
+        #: lifecycle): one dict per component with uptime/degraded/
+        #: downtime/repair cycle totals and failure/repair transition
+        #: counts over ``[0, wall_cycles)``.  Empty unless a lifecycle
+        #: is configured.  Conservation law (repro.check):
+        #: ``uptime + downtime + repair == wall_cycles`` per component.
+        self.component_availability: List[Dict] = []
+
         self.wall_cycles = 0
         self.halted_threads = 0
 
@@ -172,6 +180,46 @@ class SimStats:
         return self.oracle_hits / accesses if accesses else 0.0
 
     @property
+    def lifecycle_failures(self) -> int:
+        """Component hard failures across the run (0 = no lifecycle)."""
+        return sum(comp["failures"] for comp in self.component_availability)
+
+    @property
+    def lifecycle_repairs(self) -> int:
+        """Components returned to service across the run."""
+        return sum(comp["repairs"] for comp in self.component_availability)
+
+    @property
+    def lifecycle_degraded_cycles(self) -> int:
+        """Cycles any component spent serving in a DEGRADED stage."""
+        return sum(comp["degraded_cycles"] for comp in self.component_availability)
+
+    @property
+    def lifecycle_downtime_cycles(self) -> int:
+        """Cycles any component spent FAILED or REPAIRING (not serving)."""
+        return sum(
+            comp["downtime_cycles"] + comp["repair_cycles"]
+            for comp in self.component_availability
+        )
+
+    def mttf(self) -> float:
+        """Mean cycles to failure: serving time per hard failure
+        (0.0 when nothing ever failed)."""
+        failures = self.lifecycle_failures
+        if not failures:
+            return 0.0
+        uptime = sum(comp["uptime_cycles"] for comp in self.component_availability)
+        return uptime / failures
+
+    def mttr(self) -> float:
+        """Mean cycles to repair: non-serving time per completed repair
+        (0.0 when nothing was ever repaired)."""
+        repairs = self.lifecycle_repairs
+        if not repairs:
+            return 0.0
+        return self.lifecycle_downtime_cycles / repairs
+
+    @property
     def total_bits(self) -> int:
         """Network bits moved, excluding spin-synchronisation traffic."""
         return self.fwd_bits + self.ret_bits
@@ -240,6 +288,9 @@ class SimStats:
             "retries": self.retries,
             "backoff_cycles": self.backoff_cycles,
             "faa_replays": self.faa_replays,
+            "component_availability": [
+                dict(comp) for comp in self.component_availability
+            ],
             "wall_cycles": self.wall_cycles,
             "halted_threads": self.halted_threads,
         }
@@ -264,6 +315,10 @@ class SimStats:
             "nacks", "retries", "backoff_cycles", "faa_replays",
         ):  # absent in pre-fault-injection payloads
             setattr(stats, field, data.get(field, 0))
+        # Absent in pre-lifecycle payloads.
+        stats.component_availability = [
+            dict(comp) for comp in data.get("component_availability", [])
+        ]
         stats.per_proc_busy = list(data["per_proc_busy"])
         stats.per_proc_idle = list(data["per_proc_idle"])
         stats.run_lengths = Counter(
@@ -298,6 +353,26 @@ class SimStats:
             registry.counter("mem.reply.delayed").inc(self.replies_delayed)
             registry.counter("mem.backoff.cycles").inc(self.backoff_cycles)
             registry.counter("faa.replay").inc(self.faa_replays)
+        if self.component_availability:
+            registry.counter("lifecycle.failures").inc(self.lifecycle_failures)
+            registry.counter("lifecycle.repairs").inc(self.lifecycle_repairs)
+            registry.counter("lifecycle.degraded.cycles").inc(
+                self.lifecycle_degraded_cycles
+            )
+            registry.counter("lifecycle.downtime.cycles").inc(
+                self.lifecycle_downtime_cycles
+            )
+            for comp in self.component_availability:
+                labels = {"component": str(comp["component"])}
+                registry.counter(
+                    "lifecycle.component.uptime.cycles", labels=labels
+                ).inc(comp["uptime_cycles"])
+                registry.counter(
+                    "lifecycle.component.downtime.cycles", labels=labels
+                ).inc(comp["downtime_cycles"] + comp["repair_cycles"])
+                registry.counter(
+                    "lifecycle.component.failures", labels=labels
+                ).inc(comp["failures"])
         run_length = registry.histogram("run.length")
         for length, count in sorted(self.run_lengths.items()):
             for _ in range(count):

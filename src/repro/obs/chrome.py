@@ -44,7 +44,20 @@ _INSTANT_NAMES = {
     EventKind.MEM_NACK: "mem-nack",
     EventKind.MEM_RETRY: "mem-retry",
     EventKind.FAA_REPLAY: "faa-replay",
+    EventKind.COMPONENT_DEGRADE: "component-degrade",
+    EventKind.COMPONENT_FAIL: "component-fail",
+    EventKind.COMPONENT_REPAIR: "component-repair",
 }
+
+#: Component-lifecycle events get their own category so chaos runs can
+#: be filtered to just service transitions in the viewer.
+_LIFECYCLE_KINDS = frozenset(
+    (
+        EventKind.COMPONENT_DEGRADE,
+        EventKind.COMPONENT_FAIL,
+        EventKind.COMPONENT_REPAIR,
+    )
+)
 
 
 def _track_pid(pid: int) -> int:
@@ -139,7 +152,11 @@ def chrome_trace(events: Iterable[TraceEvent], dropped: int = 0) -> Dict:
             trace.append(
                 {
                     "name": _INSTANT_NAMES[kind],
-                    "cat": "sched" if kind.name.startswith("SWITCH") else "mem",
+                    "cat": (
+                        "lifecycle"
+                        if kind in _LIFECYCLE_KINDS
+                        else "sched" if kind.name.startswith("SWITCH") else "mem"
+                    ),
                     "ph": "i",
                     "ts": event.time,
                     "s": "t" if event.tid >= 0 else "p",

@@ -37,6 +37,13 @@ MEM_RETRY          ``(txn, attempt)`` — retry attempt *attempt* of transaction
                    *txn* reissued (followed by a fresh MEM_ISSUE)
 FAA_REPLAY         ``(addr, txn)`` — a retried Fetch-and-Add was answered from
                    the idempotent-replay buffer (not re-applied)
+COMPONENT_DEGRADE  ``(component, stage)`` — memory component entered DEGRADED
+                   stage *stage* (round trips stretch; see repro.faults.
+                   lifecycle)
+COMPONENT_FAIL     ``(component,)`` — component failed hard (requests NACKed
+                   until it returns to service)
+COMPONENT_REPAIR   ``(component,)`` — component finished repairing and
+                   returned to HEALTHY service
 =================  ============================================================
 """
 
@@ -67,6 +74,9 @@ class EventKind(enum.IntEnum):
     MEM_NACK = 14
     MEM_RETRY = 15
     FAA_REPLAY = 16
+    COMPONENT_DEGRADE = 17
+    COMPONENT_FAIL = 18
+    COMPONENT_REPAIR = 19
 
 
 #: Field names of each kind's ``data`` tuple (drives the JSONL export).
@@ -88,6 +98,9 @@ DATA_FIELDS = {
     EventKind.MEM_NACK: ("txn", "attempt", "backoff"),
     EventKind.MEM_RETRY: ("txn", "attempt"),
     EventKind.FAA_REPLAY: ("addr", "txn"),
+    EventKind.COMPONENT_DEGRADE: ("component", "stage"),
+    EventKind.COMPONENT_FAIL: ("component",),
+    EventKind.COMPONENT_REPAIR: ("component",),
 }
 
 

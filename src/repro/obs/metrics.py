@@ -444,6 +444,9 @@ _EVENT_COUNTERS = {
     EventKind.MEM_NACK: "mem.nack",
     EventKind.MEM_RETRY: "mem.retry",
     EventKind.FAA_REPLAY: "faa.replay",
+    EventKind.COMPONENT_DEGRADE: "component.degrade",
+    EventKind.COMPONENT_FAIL: "component.fail",
+    EventKind.COMPONENT_REPAIR: "component.repair",
 }
 
 

@@ -111,6 +111,17 @@ class Tracer:
         """A retried Fetch-and-Add was answered from the replay buffer
         instead of being applied a second time."""
 
+    # -- component-lifecycle probes (see repro.faults.lifecycle) ---------------
+
+    def component_degrade(self, time: int, component: int, stage: int) -> None:
+        """Memory *component* entered DEGRADED stage *stage*."""
+
+    def component_fail(self, time: int, component: int) -> None:
+        """Memory *component* failed hard (requests NACK until repair)."""
+
+    def component_repair(self, time: int, component: int) -> None:
+        """Memory *component* finished repairing and is serving again."""
+
 
 class NullTracer(Tracer):
     """A tracer that is switched off: the machine treats it as absent."""
@@ -236,4 +247,22 @@ class RingTracer(Tracer):
     def faa_replay(self, time, addr, txn):
         self.buffer.append(
             TraceEvent(time, EventKind.FAA_REPLAY, MEMORY_SIDE, -1, (addr, txn))
+        )
+
+    def component_degrade(self, time, component, stage):
+        self.buffer.append(
+            TraceEvent(
+                time, EventKind.COMPONENT_DEGRADE, MEMORY_SIDE, -1,
+                (component, stage),
+            )
+        )
+
+    def component_fail(self, time, component):
+        self.buffer.append(
+            TraceEvent(time, EventKind.COMPONENT_FAIL, MEMORY_SIDE, -1, (component,))
+        )
+
+    def component_repair(self, time, component):
+        self.buffer.append(
+            TraceEvent(time, EventKind.COMPONENT_REPAIR, MEMORY_SIDE, -1, (component,))
         )

@@ -35,6 +35,11 @@ from repro.serve.server import (
     serve,
     specs_from_payload,
 )
+from repro.serve.validation import (
+    SpecValidationError,
+    validate_fault_spec,
+    validate_lifecycle_spec,
+)
 
 __all__ = [
     "Client",
@@ -50,4 +55,7 @@ __all__ = [
     "ServerConfig",
     "serve",
     "specs_from_payload",
+    "SpecValidationError",
+    "validate_fault_spec",
+    "validate_lifecycle_spec",
 ]

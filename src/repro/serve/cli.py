@@ -10,7 +10,8 @@ Examples::
 ``serve`` blocks until SIGTERM/SIGINT, then drains gracefully (stops
 admitting, settles in-flight jobs, flushes the journal and run log).
 ``submit`` shares the spec flags of ``repro-trace run`` — including the
-fault-injection group — and by default blocks until the result is back.
+fault-injection and component-lifecycle (chaos scenario) groups — and
+by default blocks until the result is back.
 """
 
 from __future__ import annotations

@@ -332,6 +332,7 @@ class JobScheduler:
 
                     self._lint_spec(spec)
                     check_result(result, label=spec.label())
+                self._fold_availability(getattr(result, "stats", None))
                 payloads.append(result.to_dict())
             if serialize is not None:
                 recorder.finish(serialize)
@@ -366,6 +367,32 @@ class JobScheduler:
                     self.journal.record_finish(job)
             except OSError:  # pragma: no cover - disk full etc.
                 pass
+
+    def _fold_availability(self, stats) -> None:
+        """Chaos-scenario observability: accumulate each result's
+        component-availability ledger into the serve registry, so
+        degradation/outage totals can be read straight off ``/metrics``
+        (the README walkthrough does exactly that).  Results without a
+        ledger — the overwhelmingly common case — cost one truthiness
+        check."""
+        if not getattr(stats, "component_availability", None):
+            return
+        self.metrics.counter(
+            "serve.lifecycle.failures",
+            help="Component hard failures across all served results",
+        ).inc(stats.lifecycle_failures)
+        self.metrics.counter(
+            "serve.lifecycle.repairs",
+            help="Component repairs across all served results",
+        ).inc(stats.lifecycle_repairs)
+        self.metrics.counter(
+            "serve.lifecycle.degraded_cycles",
+            help="Degraded-service cycles across all served results",
+        ).inc(stats.lifecycle_degraded_cycles)
+        self.metrics.counter(
+            "serve.lifecycle.downtime_cycles",
+            help="Outage + repair cycles across all served results",
+        ).inc(stats.lifecycle_downtime_cycles)
 
     def _lint_spec(self, spec) -> None:
         """Part of the check oracle: statically verify the program a

@@ -19,8 +19,11 @@ Endpoints (JSON in, JSON out, ``/metrics`` excepted):
 Spec payloads accept either the exact :meth:`RunSpec.to_dict` form (what
 :class:`repro.serve.Client` sends) or curl-friendly keyword form
 (``{"app": "sieve", "model": "eswitch", "level": 4}``), including a
-``faults`` mapping which is lifted into a
-:class:`~repro.faults.config.FaultConfig`.
+``faults`` mapping which is lifted *strictly* into a
+:class:`~repro.faults.config.FaultConfig` by
+:mod:`repro.serve.validation` — unknown keys, wrong types and
+out-of-range values come back as a structured 400 naming the offending
+key rather than a 500 (or a silently dropped chaos knob).
 """
 
 from __future__ import annotations
@@ -38,12 +41,12 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.engine.cache import default_cache_dir
 from repro.engine.executor import Engine
 from repro.engine.spec import RunSpec
-from repro.faults.config import FaultConfig
 from repro.jit import DEFAULT_BACKEND
 from repro.machine.models import SwitchModel
 from repro.obs.spans import SpanContext, SpanRecorder
 from repro.serve.jobs import JobState
 from repro.serve.scheduler import AdmissionError, JobScheduler
+from repro.serve.validation import SpecValidationError, validate_fault_spec
 
 #: Request bodies past this size are refused outright (413) before any
 #: JSON parsing — admission control for a single oversized request.
@@ -110,6 +113,8 @@ def specs_from_payload(payload) -> List[RunSpec]:
             raise ValueError("each spec must be a JSON object")
         try:
             specs.append(_decode_spec(raw))
+        except SpecValidationError:
+            raise  # already names the offending key; don't re-wrap
         except (TypeError, ValueError, KeyError) as error:
             raise ValueError(f"bad spec {raw!r}: {error}") from None
     return specs
@@ -121,9 +126,8 @@ def _decode_spec(raw: Dict) -> RunSpec:
     raw = dict(raw)
     if "model" in raw:  # accept paper aliases (eswitch, sol, ...)
         raw["model"] = SwitchModel.parse(raw["model"])
-    faults = raw.get("faults")
-    if isinstance(faults, dict):
-        raw["faults"] = FaultConfig(**faults)
+    if raw.get("faults") is not None:
+        raw["faults"] = validate_fault_spec(raw["faults"])
     return RunSpec.create(**raw)
 
 
@@ -248,6 +252,11 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(body.decode("utf-8"))
             specs = specs_from_payload(payload)
+        except SpecValidationError as error:
+            if http_span is not None:
+                http_span.set(http_status=400)
+            extra = {"key": error.key} if error.key else {}
+            return self._error(400, str(error), **extra)
         except (ValueError, UnicodeDecodeError) as error:
             if http_span is not None:
                 http_span.set(http_status=400)

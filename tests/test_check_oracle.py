@@ -9,6 +9,7 @@ from repro.check import (
     replay_check,
     result_problems,
     zero_fault_equivalence,
+    zero_lifecycle_equivalence,
 )
 from repro.engine import RunSpec
 from repro.faults import FaultConfig
@@ -106,3 +107,92 @@ def test_canonical_stats_is_stable():
 def test_zero_fault_equivalence_strips_and_compares():
     result = zero_fault_equivalence(_faulty_spec())
     assert result.wall_cycles > 0
+
+
+# -- lifecycle availability oracles ---------------------------------------------
+
+_DEGRADED = FaultConfig(
+    lifecycle={
+        "components": 2,
+        "seed": 7,
+        "mean_healthy": 3_000,
+        "mean_degraded": 1_500,
+        "mean_failed": 600,
+        "mean_repair": 900,
+    }
+)
+
+
+def _degraded_spec():
+    return RunSpec(
+        app="sieve",
+        model="explicit-switch",
+        processors=2,
+        level=2,
+        scale="tiny",
+        overrides=(("faults", _DEGRADED),),
+    )
+
+
+def test_degradation_replay_identical_across_workers_cache_backends(tmp_path):
+    """The acceptance criterion: one fixed-seed degradation scenario,
+    byte-identical SimStats (availability ledger included) at 1 and 2
+    workers, cache cold vs warm, interpreter vs compiled."""
+    canonical = replay_check(
+        _degraded_spec(),
+        workers=(1, 2),
+        cache_dir=str(tmp_path),
+        backends=("interpreter", "compiled"),
+    )
+    assert '"component_availability"' in canonical
+    assert '"failures"' in canonical
+
+
+def test_zero_lifecycle_equivalence_holds():
+    result = zero_lifecycle_equivalence(_degraded_spec())
+    assert result.wall_cycles > 0
+
+
+def _degraded_result():
+    return run_asm(
+        "lws r1, 0(r0)\nhalt\n",
+        model=SwitchModel.SWITCH_ON_LOAD,
+        latency=200,
+        faults=_DEGRADED,
+    )
+
+
+def test_tampered_availability_conservation_is_caught():
+    result = _degraded_result()
+    assert result_problems(result) == []
+    result.stats.component_availability[0]["uptime_cycles"] += 1
+    assert any(
+        "availability conservation" in problem
+        for problem in result_problems(result)
+    )
+
+
+def test_tampered_repair_pairing_is_caught():
+    result = _degraded_result()
+    comp = result.stats.component_availability[1]
+    comp["repairs"] = comp["failures"] + 2
+    assert any("repairs" in problem for problem in result_problems(result))
+
+
+def test_ledger_without_lifecycle_config_is_caught():
+    result = run_asm("halt\n")
+    result.stats.component_availability = [
+        {"component": 0, "uptime_cycles": 1, "degraded_cycles": 0,
+         "downtime_cycles": 0, "repair_cycles": 0, "failures": 0,
+         "repairs": 0}
+    ]
+    assert any(
+        "without a lifecycle config" in problem
+        for problem in result_problems(result)
+    )
+
+
+def test_short_ledger_is_caught():
+    result = _degraded_result()
+    result.stats.component_availability.pop()
+    assert any("covers 1 components" in p for p in result_problems(result))

@@ -70,6 +70,9 @@ def test_event_record_roundtrip_all_kinds():
         EventKind.MEM_NACK: (7, 1, 8),
         EventKind.MEM_RETRY: (7, 1),
         EventKind.FAA_REPLAY: (8, 7),
+        EventKind.COMPONENT_DEGRADE: (1, 2),
+        EventKind.COMPONENT_FAIL: (1,),
+        EventKind.COMPONENT_REPAIR: (1,),
     }
     assert set(samples) == set(EventKind) == set(DATA_FIELDS)
     for kind, data in samples.items():
@@ -454,3 +457,56 @@ def test_trace_cli_rejects_unknown_model(tmp_path, capsys):
     assert main(["run", "sieve", "--model", "bogus",
                  "--out", str(tmp_path / "t.json")]) == 2
     assert "unknown switch model" in capsys.readouterr().err
+
+
+def test_lifecycle_events_trace_chrome_and_metrics():
+    """COMPONENT_DEGRADE/FAIL/REPAIR flow through the ring tracer, count
+    exactly what the availability ledger counts, export as a valid
+    Chrome document under the "lifecycle" category, and surface as
+    Prometheus counters."""
+    from repro.faults import FaultConfig
+    from repro.obs.metrics import metrics_from_events
+
+    tracer = RingTracer()
+    result = run_asm(
+        WORKLOAD,
+        model=SwitchModel.SWITCH_ON_LOAD,
+        processors=2,
+        threads=2,
+        latency=200,
+        tracer=tracer,
+        faults=FaultConfig(
+            lifecycle={
+                "components": 2,
+                "seed": 7,
+                "mean_healthy": 500,
+                "mean_degraded": 300,
+                "mean_failed": 200,
+                "mean_repair": 200,
+            }
+        ),
+    )
+    events = tracer.events()
+    stats = result.stats
+    fails = [e for e in events if e.kind is EventKind.COMPONENT_FAIL]
+    repairs = [e for e in events if e.kind is EventKind.COMPONENT_REPAIR]
+    degrades = [e for e in events if e.kind is EventKind.COMPONENT_DEGRADE]
+    assert degrades and fails
+    assert len(fails) == stats.lifecycle_failures
+    assert len(repairs) == stats.lifecycle_repairs
+    assert {e.data[0] for e in fails} <= {0, 1}
+    # Chrome export: valid document, lifecycle instants categorized.
+    document = chrome_trace(events, tracer.dropped)
+    validate_chrome_trace(document)
+    lifecycle_instants = [
+        entry for entry in document["traceEvents"]
+        if entry.get("cat") == "lifecycle"
+    ]
+    assert len(lifecycle_instants) == len(fails) + len(repairs) + len(degrades)
+    # Prometheus: per-kind event counters plus availability counters.
+    registry = metrics_from_events(events)
+    assert registry.counter("component.fail").value == len(fails)
+    assert registry.counter("component.degrade").value == len(degrades)
+    text = stats.to_metrics().to_prometheus()
+    assert f"lifecycle_failures_total {len(fails)}" in text
+    assert 'lifecycle_component_failures_total{component="0"}' in text

@@ -302,3 +302,114 @@ def test_def_use_sets_cover_register_effects(instructions):
     for slot in range(1, 8):
         if slot not in declared:
             assert regs[slot] == 0, f"r{slot} changed without being written"
+
+
+# -- component-lifecycle trajectories (DESIGN §5i) -------------------------------
+
+from repro.faults import FaultConfig, LifecycleConfig
+from repro.faults.lifecycle import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    LifecyclePlan,
+    REPAIRING,
+)
+
+lifecycle_configs = st.builds(
+    LifecycleConfig,
+    components=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    mean_healthy=st.integers(min_value=0, max_value=5_000),
+    mean_degraded=st.integers(min_value=0, max_value=3_000),
+    mean_failed=st.integers(min_value=0, max_value=1_500),
+    mean_repair=st.integers(min_value=0, max_value=1_500),
+    degrade_stages=st.integers(min_value=1, max_value=3),
+    degraded_scale=st.floats(
+        min_value=1.0, max_value=3.0, allow_nan=False, allow_infinity=False
+    ),
+    degraded_shift=st.integers(min_value=0, max_value=50),
+)
+
+
+@given(
+    config=lifecycle_configs,
+    times=st.lists(
+        st.integers(min_value=0, max_value=100_000), min_size=1, max_size=20
+    ),
+)
+@settings(**_SETTINGS)
+def test_lifecycle_trajectory_is_a_pure_function(config, times):
+    """Two independently built plans agree at every sampled cycle even
+    when queried in opposite orders — the schedule is a pure function of
+    (seed, component, cycle), never of query history."""
+    forward, backward = LifecyclePlan(config), LifecyclePlan(config)
+    states = {
+        (comp, t): forward.state_at(comp, t)
+        for comp in range(config.components)
+        for t in times
+    }
+    for (comp, t) in reversed(list(states)):
+        assert backward.state_at(comp, t) == states[(comp, t)]
+        state, stage = states[(comp, t)]
+        assert state in (HEALTHY, DEGRADED, FAILED, REPAIRING)
+        assert (1 <= stage <= config.degrade_stages) == (state == DEGRADED)
+
+
+@given(
+    config=lifecycle_configs,
+    wall=st.integers(min_value=1, max_value=100_000),
+)
+@settings(**_SETTINGS)
+def test_lifecycle_availability_accounts_every_cycle(config, wall):
+    plan = LifecyclePlan(config)
+    ledger = plan.availability(wall)
+    assert len(ledger) == config.components
+    for comp in ledger:
+        assert (
+            comp["uptime_cycles"]
+            + comp["downtime_cycles"]
+            + comp["repair_cycles"]
+            == wall
+        )
+        assert 0 <= comp["degraded_cycles"] <= comp["uptime_cycles"]
+        assert comp["failures"] >= comp["repairs"] >= comp["failures"] - 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_degradation_scenario_is_identical_everywhere(seed):
+    """The acceptance property: any fixed-seed degradation scenario
+    serializes identically at 1 vs 2 workers, cache cold vs warm, and on
+    the interpreter vs the compiled backend."""
+    import tempfile
+
+    from repro.check import replay_check
+    from repro.engine import RunSpec
+
+    faults = FaultConfig(
+        lifecycle=LifecycleConfig(
+            components=2,
+            seed=seed,
+            mean_healthy=2_000,
+            mean_degraded=1_000,
+            mean_failed=500,
+            mean_repair=700,
+        )
+    )
+    spec = RunSpec(
+        app="sieve",
+        model="explicit-switch",
+        processors=2,
+        level=2,
+        scale="tiny",
+        overrides=(("faults", faults),),
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        canonical = replay_check(
+            spec,
+            workers=(1, 2),
+            cache_dir=cache_dir,
+            backends=("interpreter", "compiled"),
+        )
+    assert '"component_availability"' in canonical

@@ -1,0 +1,159 @@
+"""Strict serve-side validation of fault/lifecycle spec payloads.
+
+Every malformed form a client can send in the curl-friendly
+``{"faults": {...}}`` mapping must come back as a *structured* 400
+naming the offending key — never a 500 from deep inside a dataclass
+constructor, and never a silently dropped chaos knob.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FaultConfig, LifecycleConfig
+from repro.serve import (
+    ReproServer,
+    ServerConfig,
+    SpecValidationError,
+    specs_from_payload,
+    validate_fault_spec,
+    validate_lifecycle_spec,
+)
+
+
+# -- validator unit level --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload, key",
+    [
+        # unknown keys (the historical 500: FaultConfig(**{...}) TypeError)
+        ({"los_rate": 0.1}, "los_rate"),
+        ({"lifecycle": {"compnents": 2}}, "compnents"),
+        # wrong types
+        ({"loss_rate": "high"}, "loss_rate"),
+        ({"seed": 1.5}, "seed"),
+        ({"jitter": True}, "jitter"),
+        ({"latency_model": 3}, "latency_model"),
+        ({"lifecycle": {"components": "two"}}, "components"),
+        ({"lifecycle": 5}, "lifecycle"),
+        ("not-a-mapping", "faults"),
+        # out-of-range values (constructor rules, key re-attached)
+        ({"loss_rate": 2.0}, "loss_rate"),
+        ({"delay_rate": -0.5}, "delay_rate"),
+        ({"latency_model": "quantum"}, "latency_model"),
+        ({"max_retries": 0}, "max_retries"),
+        ({"lifecycle": {"components": 0}}, "components"),
+        ({"lifecycle": {"degrade_stages": 0}}, "degrade_stages"),
+        ({"lifecycle": {"degraded_scale": 0.25}}, "degraded_scale"),
+        ({"lifecycle": {"components": 2, "affected": 5}}, "affected"),
+    ],
+)
+def test_validator_rejects_with_offending_key(payload, key):
+    with pytest.raises(SpecValidationError) as info:
+        validate_fault_spec(payload)
+    assert info.value.key == key
+
+
+def test_validator_accepts_well_formed_payloads():
+    config = validate_fault_spec(
+        {
+            "latency_model": "uniform",
+            "jitter": 50,
+            "loss_rate": 0.01,
+            "seed": 3,
+            "lifecycle": {"components": 2, "seed": 7, "affected": 1},
+        }
+    )
+    assert config == FaultConfig(
+        latency_model="uniform",
+        jitter=50,
+        loss_rate=0.01,
+        seed=3,
+        lifecycle=LifecycleConfig(components=2, seed=7, affected=1),
+    )
+    # Floats may arrive as JSON integers.
+    assert validate_fault_spec({"loss_rate": 0}).loss_rate == 0.0
+    lifecycle = validate_lifecycle_spec({"components": 3, "degraded_scale": 2})
+    assert lifecycle.degraded_scale == 2.0
+
+
+def test_specs_from_payload_preserves_validation_structure():
+    payload = {
+        "spec": {
+            "app": "sieve",
+            "model": "eswitch",
+            "level": 2,
+            "faults": {"lifecycle": {"mean_healthy": -1}},
+        }
+    }
+    with pytest.raises(SpecValidationError) as info:
+        specs_from_payload(payload)
+    assert info.value.key == "mean_healthy"
+
+
+def test_lenient_from_dict_contract_is_untouched():
+    """The strictness lives in the serve layer only: FaultConfig.from_dict
+    keeps ignoring unknown keys (old cached payloads must load)."""
+    data = FaultConfig(loss_rate=0.01).to_dict()
+    data["future_field"] = 1
+    assert FaultConfig.from_dict(data) == FaultConfig(loss_rate=0.01)
+    with pytest.raises(SpecValidationError):
+        validate_fault_spec(data)
+
+
+# -- HTTP level ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, quiet=True, no_cache=True)
+    with ReproServer(config) as running:
+        yield running
+
+
+def _post_job(server, faults):
+    body = json.dumps(
+        {"spec": {"app": "sieve", "model": "eswitch", "level": 2,
+                  "scale": "tiny", "faults": faults}}
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        server.url + "/v1/jobs",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.mark.parametrize(
+    "faults, key",
+    [
+        ({"los_rate": 0.1}, "los_rate"),
+        ({"loss_rate": "high"}, "loss_rate"),
+        ({"loss_rate": 7.5}, "loss_rate"),
+        ({"latency_model": "quantum"}, "latency_model"),
+        ({"lifecycle": {"compnents": 2}}, "compnents"),
+        ({"lifecycle": {"degrade_stages": 0}}, "degrade_stages"),
+        ({"lifecycle": "everything"}, "lifecycle"),
+        (["not", "a", "mapping"], "faults"),
+    ],
+)
+def test_submit_returns_structured_400(server, faults, key):
+    status, body = _post_job(server, faults)
+    assert status == 400
+    assert body["key"] == key
+    assert body["error"]
+
+
+def test_submit_accepts_valid_lifecycle_spec(server):
+    status, body = _post_job(
+        server, {"lifecycle": {"components": 2, "seed": 7}}
+    )
+    assert status == 202
+    assert "job" in body
