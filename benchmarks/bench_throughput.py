@@ -41,7 +41,10 @@ from repro.engine.spec import RunSpec
 from repro.jit import resolve_backend
 from repro.runtime.execution import make_simulator
 
-QUICK_APPS = ("blkmat", "mp3d")
+#: CI subset: two Table 1 applications plus one fixed synthetic kernel
+#: (seeded, so its code is identical on every host — a stable probe of
+#: generated-code throughput alongside the hand-written apps).
+QUICK_APPS = ("blkmat", "mp3d", "synth:1:dense")
 
 
 def _measure_cell(

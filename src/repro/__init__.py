@@ -17,8 +17,11 @@ engine underneath it, and ``repro-bench --help`` for the CLI.
 from repro.api import backends, list_apps, list_models, simulate, sweep
 from repro.check import (
     CheckFailure,
+    Violation,
     check_result,
+    cross_model_violations,
     replay_check,
+    result_violations,
     zero_lifecycle_equivalence,
 )
 from repro.engine import Engine, ResultCache, RunSpec
@@ -33,7 +36,8 @@ from repro.machine import (
     SwitchModel,
 )
 from repro.obs import MetricsRegistry, RingTracer, Tracer, write_chrome_trace
-from repro import serve
+from repro import serve, synth
+from repro.synth import SynthConfig, generate_app
 
 __version__ = "1.0.0"
 
@@ -53,7 +57,10 @@ __all__ = [
     "FaultConfig",
     "LifecycleConfig",
     "CheckFailure",
+    "Violation",
     "check_result",
+    "result_violations",
+    "cross_model_violations",
     "replay_check",
     "zero_lifecycle_equivalence",
     "LintError",
@@ -67,5 +74,8 @@ __all__ = [
     "MetricsRegistry",
     "write_chrome_trace",
     "serve",
+    "synth",
+    "SynthConfig",
+    "generate_app",
     "__version__",
 ]

@@ -1,4 +1,10 @@
-"""Registry of the seven benchmark applications (paper Table 1)."""
+"""Registry of the seven benchmark applications (paper Table 1).
+
+Beyond the Table 1 names, the registry resolves the ``synth:`` scheme:
+``synth:<seed>[:<preset>]`` builds a seed-deterministic synthetic kernel
+through :mod:`repro.synth`, so generated workloads are addressable from
+every CLI and from :func:`repro.api.simulate` exactly like built-ins.
+"""
 
 from __future__ import annotations
 
@@ -28,12 +34,23 @@ _BY_NAME: Dict[str, AppSpec] = {spec.name: spec for spec in ALL_APPS}
 
 
 def get_app(name: str) -> AppSpec:
-    """Look an application up by its Table 1 name."""
+    """Look an application up by its Table 1 name or ``synth:`` scheme."""
+    if name.startswith("synth:"):
+        # Deferred import: repro.synth builds on the apps framework.
+        from repro.synth.registry import resolve_synth
+
+        try:
+            return resolve_synth(name)
+        except ValueError as error:
+            raise KeyError(str(error)) from None
     try:
         return _BY_NAME[name]
     except KeyError:
         known = ", ".join(sorted(_BY_NAME))
-        raise KeyError(f"unknown application {name!r} (known: {known})") from None
+        raise KeyError(
+            f"unknown application {name!r} (known: {known}; synthetic "
+            "kernels are addressable as synth:<seed>[:<preset>])"
+        ) from None
 
 
 def app_names() -> List[str]:

@@ -20,18 +20,32 @@ per-application result validator:
   enforced by :func:`check_result`).
 """
 
+from repro.check.crossmodel import (
+    INVARIANTS as CROSS_MODEL_INVARIANTS,
+    cross_model_violations,
+)
 from repro.check.golden import (
     canonical_stats,
     replay_check,
     zero_fault_equivalence,
     zero_lifecycle_equivalence,
 )
-from repro.check.invariants import CheckFailure, check_result, result_problems
+from repro.check.invariants import (
+    CheckFailure,
+    Violation,
+    check_result,
+    result_problems,
+    result_violations,
+)
 
 __all__ = [
     "CheckFailure",
+    "Violation",
     "check_result",
     "result_problems",
+    "result_violations",
+    "cross_model_violations",
+    "CROSS_MODEL_INVARIANTS",
     "canonical_stats",
     "replay_check",
     "zero_fault_equivalence",

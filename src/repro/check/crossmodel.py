@@ -1,0 +1,251 @@
+"""Differential invariants across switch models and execution backends.
+
+Where :mod:`repro.check.invariants` judges one run in isolation, this
+module judges a *grid* of runs of the same kernel — every switch model,
+both backends — against each other.  The paper's eight models differ in
+*when* they context-switch, never in *what* the program computes, so a
+family of observables must be model-independent:
+
+======================================  =====================================
+invariant                               law
+======================================  =====================================
+``memory-model-independent``            final shared memory is identical
+                                        across every model × backend
+``backend-stats-identical``             interpreter and compiled backends
+                                        serialize bit-identical ``SimStats``
+                                        per model
+``traffic-loads-model-independent``     non-sync shared-load work
+                                        (``READ + READ2 + cache hits +
+                                        cache misses``) is constant across
+                                        the seven message-issuing models
+``traffic-faa-model-independent``       non-sync ``FAA`` message count is
+                                        constant across those models
+``traffic-store-words-model-independent``  non-sync stored words (``WRITE +
+                                        WRITE_THROUGH + WRITE_COMBINED +
+                                        2·WRITE2``) is constant across them
+``instructions-model-independent``      retired instruction totals agree
+                                        across the six models that execute
+                                        switch-free code — including the
+                                        use models, whose switch-stripped
+                                        grouped code must cost exactly the
+                                        original instruction count
+``instructions-grouped-pair``           explicit- and conditional-switch
+                                        run the *same* grouped code, so
+                                        their retired totals (switches
+                                        included) must match
+``per-thread-instructions``             per-thread retired non-``SWITCH``
+                                        instruction counts are identical
+                                        under every model
+======================================  =====================================
+
+Scope notes: the IDEAL machine executes shared operations inline without
+issuing messages, so the traffic laws compare the other seven models;
+instruction-count laws require a deterministic per-thread schedule (no
+spin loops — the caller says so via *deterministic*), and traffic laws
+require fault-free runs (NACK retries legitimately re-count messages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.check.invariants import Violation
+from repro.machine.network import MsgKind
+from repro.machine.simulator import SimulationResult
+
+#: Models whose prepared code contains SWITCH instructions.
+GROUPED_MODELS = ("explicit-switch", "conditional-switch")
+#: Models that execute switch-free code (original or switch-stripped).
+SWITCH_FREE_MODELS = (
+    "ideal",
+    "switch-every-cycle",
+    "switch-on-load",
+    "switch-on-use",
+    "switch-on-miss",
+    "switch-on-use-miss",
+)
+#: Models that issue network messages (IDEAL executes shared ops inline).
+MESSAGE_MODELS = tuple(
+    model for model in SWITCH_FREE_MODELS + GROUPED_MODELS if model != "ideal"
+)
+
+#: Stable ids of every inter-model invariant this module can check.
+INVARIANTS = (
+    "memory-model-independent",
+    "backend-stats-identical",
+    "traffic-loads-model-independent",
+    "traffic-faa-model-independent",
+    "traffic-store-words-model-independent",
+    "instructions-model-independent",
+    "instructions-grouped-pair",
+    "per-thread-instructions",
+)
+
+#: results-grid type: ``grid[model_value][backend] -> SimulationResult``
+ResultGrid = Mapping[str, Mapping[str, SimulationResult]]
+
+
+def shared_loads(result: SimulationResult) -> int:
+    """Non-sync shared-load work: messages on uncached machines plus
+    cache hits/misses on cached ones — one unit per retired load."""
+    counts = result.stats.msg_counts
+    return (
+        counts[MsgKind.READ]
+        + counts[MsgKind.READ2]
+        + result.stats.cache_hits
+        + result.stats.cache_misses
+    )
+
+
+def faa_messages(result: SimulationResult) -> int:
+    """Non-sync Fetch-and-Add transactions (always one per FAA)."""
+    return result.stats.msg_counts[MsgKind.FAA]
+
+
+def stored_words(result: SimulationResult) -> int:
+    """Non-sync words written to shared memory, counted in words because
+    write-combining splits a Store-Double into per-word messages."""
+    counts = result.stats.msg_counts
+    return (
+        counts[MsgKind.WRITE]
+        + counts[MsgKind.WRITE_THROUGH]
+        + counts[MsgKind.WRITE_COMBINED]
+        + 2 * counts[MsgKind.WRITE2]
+    )
+
+
+def _constant(
+    violations: List[Violation],
+    invariant: str,
+    label: str,
+    values: Dict[str, int],
+) -> None:
+    if len(set(values.values())) > 1:
+        rendered = ", ".join(
+            f"{model}={value}" for model, value in sorted(values.items())
+        )
+        violations.append(
+            Violation(invariant, f"{label} differs across models: {rendered}")
+        )
+
+
+def cross_model_violations(
+    grid: ResultGrid,
+    *,
+    deterministic: bool = True,
+    faulty: bool = False,
+    per_thread: Optional[Mapping[str, Mapping[int, int]]] = None,
+) -> List[Violation]:
+    """Every violated cross-model invariant over *grid* (empty = clean).
+
+    :param grid: ``grid[model][backend] -> SimulationResult`` for one
+        kernel; missing cells are simply not compared.
+    :param deterministic: the kernel's per-thread schedule is
+        model-independent (no spin loops), enabling the
+        instruction-count laws.
+    :param faulty: fault injection was active — retries re-count
+        messages, so the traffic laws are skipped.
+    :param per_thread: optional ``{model: {tid: retired non-SWITCH
+        instructions}}`` collected by a tracer, enabling the per-thread
+        law.
+    """
+    violations: List[Violation] = []
+
+    # -- backend equivalence: bit-identical stats per model ------------------
+    for model in sorted(grid):
+        backends = grid[model]
+        names = sorted(backends)
+        if len(names) < 2:
+            continue
+        reference = backends[names[0]].stats.to_dict()
+        for other in names[1:]:
+            if backends[other].stats.to_dict() != reference:
+                violations.append(
+                    Violation(
+                        "backend-stats-identical",
+                        f"{model}: SimStats differ between backend "
+                        f"{names[0]} and {other}",
+                    )
+                )
+
+    # -- final memory identical everywhere -----------------------------------
+    images = {}
+    for model in sorted(grid):
+        for backend in sorted(grid[model]):
+            shared = grid[model][backend].shared
+            if shared is not None:
+                images[f"{model}/{backend}"] = tuple(shared)
+    if len(set(images.values())) > 1:
+        reference_key = sorted(images)[0]
+        reference = images[reference_key]
+        differing = sorted(
+            key for key, image in images.items() if image != reference
+        )
+        violations.append(
+            Violation(
+                "memory-model-independent",
+                "final shared memory diverges: "
+                f"{', '.join(differing)} differ from {reference_key}",
+            )
+        )
+
+    def cell(model: str) -> Optional[SimulationResult]:
+        backends = grid.get(model, {})
+        if not backends:
+            return None
+        return backends[sorted(backends)[0]]
+
+    # -- traffic conservation (fault-free runs only) -------------------------
+    if not faulty:
+        for invariant, label, measure in (
+            ("traffic-loads-model-independent", "shared-load traffic",
+             shared_loads),
+            ("traffic-faa-model-independent", "FAA traffic", faa_messages),
+            ("traffic-store-words-model-independent", "stored words",
+             stored_words),
+        ):
+            values = {
+                model: measure(cell(model))
+                for model in MESSAGE_MODELS
+                if cell(model) is not None
+            }
+            if len(values) > 1:
+                _constant(violations, invariant, label, values)
+
+    # -- instruction-count laws (deterministic schedules only) ---------------
+    if deterministic and not faulty:
+        totals = {
+            model: cell(model).stats.instructions
+            for model in SWITCH_FREE_MODELS
+            if cell(model) is not None
+        }
+        _constant(
+            violations,
+            "instructions-model-independent",
+            "retired instructions (switch-free code)",
+            totals,
+        )
+        grouped = {
+            model: cell(model).stats.instructions
+            for model in GROUPED_MODELS
+            if cell(model) is not None
+        }
+        _constant(
+            violations,
+            "instructions-grouped-pair",
+            "retired instructions (grouped code)",
+            grouped,
+        )
+        if per_thread:
+            reference_model = sorted(per_thread)[0]
+            reference = dict(per_thread[reference_model])
+            for model in sorted(per_thread):
+                if dict(per_thread[model]) != reference:
+                    violations.append(
+                        Violation(
+                            "per-thread-instructions",
+                            "per-thread retired instruction counts differ: "
+                            f"{model} disagrees with {reference_model}",
+                        )
+                    )
+    return violations

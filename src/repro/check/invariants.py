@@ -5,10 +5,17 @@ The laws hold by construction of the NACK/retry protocol
 regressions — a dropped reply nobody retried, a double-applied retry, a
 thread that halted while a load was still in flight — that application
 result validators can miss (a lucky memory image can look correct).
+
+Every violation carries a stable machine-readable ``invariant`` name
+(:class:`Violation`) so automation — the fuzz harness's repro bundles,
+dashboards — can key on *which* law broke without parsing the rendered
+message; :func:`result_problems` keeps returning the exact same strings
+it always has.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
 from repro.machine.simulator import SimulationResult
@@ -18,7 +25,19 @@ class CheckFailure(AssertionError):
     """One or more invariants failed; the message lists every violation."""
 
 
-def result_problems(result: SimulationResult) -> List[str]:
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One violated invariant: a stable id plus the human-readable
+    message (``str()`` renders exactly the legacy problem text)."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def result_violations(result: SimulationResult) -> List[Violation]:
     """Every invariant violation found in *result* (empty = clean).
 
     Works on both live results and cache-restored ones (restored results
@@ -26,36 +45,45 @@ def result_problems(result: SimulationResult) -> List[str]:
     """
     stats = result.stats
     config = result.config
-    problems: List[str] = []
+    violations: List[Violation] = []
+
+    def found(invariant: str, message: str) -> None:
+        violations.append(Violation(invariant, message))
 
     if stats.halted_threads != config.total_threads:
-        problems.append(
-            f"{stats.halted_threads} of {config.total_threads} threads halted"
+        found(
+            "threads-halted",
+            f"{stats.halted_threads} of {config.total_threads} threads halted",
         )
     if stats.mem_issued != stats.mem_completed:
-        problems.append(
+        found(
+            "transaction-conservation",
             "transaction conservation: issued "
-            f"{stats.mem_issued} != completed {stats.mem_completed}"
+            f"{stats.mem_issued} != completed {stats.mem_completed}",
         )
     if stats.nacks != stats.replies_dropped:
-        problems.append(
+        found(
+            "drop-nack-conservation",
             f"every dropped reply must NACK: dropped {stats.replies_dropped} "
-            f"!= nacks {stats.nacks}"
+            f"!= nacks {stats.nacks}",
         )
     if stats.retries != stats.nacks:
-        problems.append(
+        found(
+            "nack-retry-conservation",
             f"every NACK must retry: nacks {stats.nacks} "
-            f"!= retries {stats.retries}"
+            f"!= retries {stats.retries}",
         )
     if sum(stats.per_proc_busy) != stats.busy_cycles:
-        problems.append(
+        found(
+            "busy-cycle-ledger",
             f"busy-cycle ledger: per-processor sum {sum(stats.per_proc_busy)} "
-            f"!= total {stats.busy_cycles}"
+            f"!= total {stats.busy_cycles}",
         )
     if stats.wall_cycles > config.max_cycles:
-        problems.append(
+        found(
+            "wall-cycle-bound",
             f"wall cycles {stats.wall_cycles} exceed max_cycles "
-            f"{config.max_cycles}"
+            f"{config.max_cycles}",
         )
 
     faults = config.faults
@@ -72,44 +100,58 @@ def result_problems(result: SimulationResult) -> List[str]:
             if getattr(stats, name)
         }
         if fired:
-            problems.append(
-                f"fault machinery fired with faults off: {fired}"
+            found(
+                "fault-machinery-off",
+                f"fault machinery fired with faults off: {fired}",
             )
 
-    problems.extend(_lifecycle_problems(stats, faults))
+    violations.extend(_lifecycle_violations(stats, faults))
 
     for thread in result.threads:  # empty for cache-restored results
         if not thread.halted:
-            problems.append(f"thread {thread.tid} never halted")
+            found("thread-halt", f"thread {thread.tid} never halted")
         if thread.inflight:
-            problems.append(
+            found(
+                "thread-inflight-at-halt",
                 f"thread {thread.tid} holds in-flight registers at halt: "
-                f"{dict(thread.inflight)}"
+                f"{dict(thread.inflight)}",
             )
-    return problems
+    return violations
 
 
-def _lifecycle_problems(stats, faults) -> List[str]:
+def result_problems(result: SimulationResult) -> List[str]:
+    """The violations as plain strings (the historical surface — render
+    output is unchanged)."""
+    return [violation.message for violation in result_violations(result)]
+
+
+def _lifecycle_violations(stats, faults) -> List[Violation]:
     """Conservation laws of the component-availability ledger
     (repro.faults.lifecycle): the ledger exists iff a lifecycle is
     configured, covers every component, and attributes every cycle of
     ``[0, wall)`` to exactly one of uptime / downtime / repair."""
-    problems: List[str] = []
+    violations: List[Violation] = []
+
+    def found(invariant: str, message: str) -> None:
+        violations.append(Violation(invariant, message))
+
     ledger = stats.component_availability
     lifecycle = faults.lifecycle if faults is not None else None
     if lifecycle is None:
         if ledger:
-            problems.append(
+            found(
+                "ledger-without-lifecycle",
                 f"availability ledger present ({len(ledger)} components) "
-                "without a lifecycle config"
+                "without a lifecycle config",
             )
-        return problems
+        return violations
     if len(ledger) != lifecycle.components:
-        problems.append(
+        found(
+            "ledger-coverage",
             f"availability ledger covers {len(ledger)} components, "
-            f"config has {lifecycle.components}"
+            f"config has {lifecycle.components}",
         )
-        return problems
+        return violations
     wall = stats.wall_cycles
     for comp in ledger:
         ident = f"component {comp['component']}"
@@ -117,31 +159,38 @@ def _lifecycle_problems(stats, faults) -> List[str]:
             comp["uptime_cycles"] + comp["downtime_cycles"] + comp["repair_cycles"]
         )
         if total != wall:
-            problems.append(
+            found(
+                "availability-conservation",
                 f"availability conservation: {ident} accounts {total} "
-                f"cycles != wall {wall}"
+                f"cycles != wall {wall}",
             )
         if comp["degraded_cycles"] > comp["uptime_cycles"]:
-            problems.append(
+            found(
+                "degraded-within-uptime",
                 f"{ident} degraded {comp['degraded_cycles']} cycles "
-                f"exceed uptime {comp['uptime_cycles']}"
+                f"exceed uptime {comp['uptime_cycles']}",
             )
         if not comp["failures"] >= comp["repairs"] >= comp["failures"] - 1:
-            problems.append(
+            found(
+                "failure-repair-pairing",
                 f"{ident} repairs {comp['repairs']} inconsistent with "
-                f"failures {comp['failures']} (at most one outage open)"
+                f"failures {comp['failures']} (at most one outage open)",
             )
         if any(value < 0 for key, value in comp.items() if key != "component"):
-            problems.append(f"{ident} has negative availability counters")
+            found(
+                "availability-nonnegative",
+                f"{ident} has negative availability counters",
+            )
     if not lifecycle.active and (
         stats.lifecycle_failures or stats.lifecycle_degraded_cycles
     ):
-        problems.append(
+        found(
+            "inactive-lifecycle-quiet",
             "inactive lifecycle reported failures/degradation: "
             f"failures={stats.lifecycle_failures} "
-            f"degraded={stats.lifecycle_degraded_cycles}"
+            f"degraded={stats.lifecycle_degraded_cycles}",
         )
-    return problems
+    return violations
 
 
 def check_result(

@@ -60,11 +60,11 @@ def _build(app_name: str, nthreads: int, code_model: str, scale: str,
     build."""
     from repro.apps.registry import get_app
     from repro.compiler.passes import prepare_for_model
-    from repro.harness.sizes import scale_sizes
+    from repro.harness.sizes import sizes_for
     from repro.machine.models import SwitchModel
 
     spec = get_app(app_name)
-    sizes = scale_sizes(scale)[app_name]
+    sizes = sizes_for(app_name, scale)
     app = spec.build(nthreads, **sizes)
     program = prepare_for_model(app.program, SwitchModel(code_model), lint=lint)
     return app, program

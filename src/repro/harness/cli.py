@@ -93,6 +93,14 @@ def main(argv=None) -> int:
         "--latency", type=int, default=200, help="round-trip latency in cycles"
     )
     parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=None,
+        metavar="APP",
+        help="restrict every table/figure to these applications (Table 1 "
+        "names or synth:<seed>[:<preset>] kernels; default: all seven)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -164,6 +172,7 @@ def main(argv=None) -> int:
         engine=engine,
         faults=faults,
         check=args.check,
+        apps=args.apps,
     )
 
     if args.target == "all":

@@ -41,9 +41,14 @@ class ExperimentContext:
         engine: Optional[Engine] = None,
         faults=None,
         check: bool = False,
+        apps: Optional[Iterable[str]] = None,
     ):
         self.scale = scale
         self.sizes = scale_sizes(scale)
+        #: Application names every table/figure iterates (``None`` =
+        #: the full Table 1 roster).  Accepts ``synth:`` scheme names,
+        #: so generated kernels slot into any experiment.
+        self._apps = list(apps) if apps is not None else None
         self.latency = latency
         #: Processor count used by the multithreading-level tables.
         self.processors = processors
@@ -80,13 +85,19 @@ class ExperimentContext:
     # -- building blocks ---------------------------------------------------------
 
     def apps(self):
+        if self._apps is not None:
+            return [get_app(name) for name in self._apps]
         return list(ALL_APPS)
 
     def app_names(self):
+        if self._apps is not None:
+            return list(self._apps)
         return app_names()
 
     def size_of(self, app_name: str) -> Dict:
-        return dict(self.sizes[app_name])
+        # Apps outside the scale tables (synth: kernels) take no size
+        # keywords — same contract as repro.harness.sizes.sizes_for.
+        return dict(self.sizes.get(app_name, {}))
 
     def config(self, model: SwitchModel, processors: int, level: int, **extra):
         return MachineConfig(

@@ -75,3 +75,12 @@ def scale_sizes(scale: str) -> Dict[str, Dict]:
     except KeyError:
         known = ", ".join(sorted(SCALES))
         raise KeyError(f"unknown scale {scale!r} (known: {known})") from None
+
+
+def sizes_for(app: str, scale: str) -> Dict:
+    """Size keywords for one application at *scale*.
+
+    Applications outside the scale tables — the seed-parameterised
+    ``synth:`` kernels — take no size keywords, so unknown app names map
+    to ``{}`` while unknown *scales* still raise."""
+    return dict(scale_sizes(scale).get(app, {}))

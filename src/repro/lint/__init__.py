@@ -106,11 +106,11 @@ def lint_app_model(
     original + prepared as a pair."""
     from repro.apps.registry import get_app
     from repro.compiler.passes import prepare_for_model
-    from repro.harness.sizes import scale_sizes
+    from repro.harness.sizes import sizes_for
 
     resolved = SwitchModel.parse(model)
     spec = get_app(app)
-    built = spec.build(nthreads, **scale_sizes(scale)[app])
+    built = spec.build(nthreads, **sizes_for(app, scale))
     prepared = prepare_for_model(built.program, resolved)
     return lint_pair(built.program, prepared, resolved)
 

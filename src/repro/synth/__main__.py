@@ -1,0 +1,8 @@
+"""``python -m repro.synth`` — alias for the ``repro-fuzz`` CLI."""
+
+import sys
+
+from repro.synth.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

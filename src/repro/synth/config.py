@@ -1,0 +1,116 @@
+"""Generation parameters for synthetic SPMD kernels.
+
+A :class:`SynthConfig` is the *shape* of a random kernel: how much of
+the instruction stream touches shared memory, how large the independent
+shared-load bunches are (the quantity the paper's grouped models exploit),
+how much control flow surrounds them, and which synchronisation patterns
+from :mod:`repro.runtime.sync` appear.  Together with a 64-bit seed it
+fully determines one kernel — generation is a pure function of
+``(seed, config)`` (see :mod:`repro.synth.generator`), so a config plus a
+seed is a complete, replayable test case.
+
+Named presets give the CLI and the ``synth:<seed>:<preset>`` app scheme a
+stable vocabulary of kernel families.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+_SYNC_PATTERNS = ("none", "lock", "barrier", "mixed")
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs of the kernel generator (all deterministic given a seed).
+
+    :param segments: body segments per phase — the unit the shrinker
+        bisects over.
+    :param shared_load_density: probability that a work segment is a
+        shared-load group rather than pure ALU arithmetic.
+    :param max_group: largest independent shared-load bunch emitted
+        (the grouping pass turns each bunch into one SWITCH-closed
+        group on the explicit/conditional-switch models).
+    :param branchiness: probability that a segment is wrapped in
+        data-dependent (but model-independent) control flow.
+    :param loop_depth: maximum loop nesting (0 = straight-line).
+    :param faa_weight: probability of a Fetch-and-Add chunk-claiming
+        segment (dynamic work distribution, paper Section 3).
+    :param sync: synchronisation pattern — ``none`` (statically
+        partitioned), ``lock`` (ticket-lock critical sections),
+        ``barrier`` (multi-phase with neighbour reads), or ``mixed``.
+    :param region_words: power-of-two words in the read-only input
+        region and in each thread's output partition.
+    """
+
+    segments: int = 6
+    shared_load_density: float = 0.5
+    max_group: int = 4
+    branchiness: float = 0.3
+    loop_depth: int = 1
+    faa_weight: float = 0.2
+    sync: str = "none"
+    region_words: int = 32
+
+    def __post_init__(self) -> None:
+        if self.segments < 1:
+            raise ValueError("segments must be >= 1")
+        if not 0.0 <= self.shared_load_density <= 1.0:
+            raise ValueError("shared_load_density must be in [0, 1]")
+        if not 1 <= self.max_group <= 8:
+            raise ValueError("max_group must be in [1, 8]")
+        if not 0.0 <= self.branchiness <= 1.0:
+            raise ValueError("branchiness must be in [0, 1]")
+        if not 0 <= self.loop_depth <= 2:
+            raise ValueError("loop_depth must be in [0, 2]")
+        if not 0.0 <= self.faa_weight <= 1.0:
+            raise ValueError("faa_weight must be in [0, 1]")
+        if self.sync not in _SYNC_PATTERNS:
+            raise ValueError(
+                f"sync must be one of {_SYNC_PATTERNS}, got {self.sync!r}"
+            )
+        if self.region_words < 8 or self.region_words & (self.region_words - 1):
+            raise ValueError("region_words must be a power of two >= 8")
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SynthConfig":
+        return cls(**data)
+
+
+#: Kernel families addressable as ``synth:<seed>:<preset>``.
+PRESETS: Dict[str, SynthConfig] = {
+    "default": SynthConfig(),
+    # Big independent shared-load bunches — the workloads where the
+    # paper's grouping (explicit/conditional switch) should shine.
+    "dense": SynthConfig(
+        segments=8, shared_load_density=0.85, max_group=6, branchiness=0.15,
+    ),
+    # Control-flow heavy with small groups — run lengths dominated by
+    # branches, the regime where switch-on-load already does well.
+    "branchy": SynthConfig(
+        shared_load_density=0.35, max_group=2, branchiness=0.8, loop_depth=2,
+    ),
+    # Lock + barrier + Fetch-and-Add traffic on top of regular work.
+    "sync": SynthConfig(
+        segments=7, sync="mixed", faa_weight=0.45, branchiness=0.25,
+    ),
+    # Small and fast — CI smoke and unit tests.
+    "quick": SynthConfig(
+        segments=3, region_words=16, loop_depth=1, branchiness=0.25,
+        faa_weight=0.15,
+    ),
+}
+
+
+def get_preset(name: str) -> SynthConfig:
+    """Preset lookup with a helpful error."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown synth preset {name!r} (known: {known})") from None

@@ -1,0 +1,87 @@
+"""The ``synth:<seed>[:<preset>]`` application scheme.
+
+Synthetic kernels are addressable everywhere a built-in application name
+is accepted — ``repro-bench``, ``repro-trace run``, ``repro-serve
+submit``, :func:`repro.api.simulate` — because
+:func:`repro.apps.registry.get_app` delegates names with the ``synth:``
+prefix here.  The seed accepts decimal or ``0x``-prefixed hex; the
+optional preset is one of :data:`repro.synth.config.PRESETS`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.apps.base import AppSpec, BuiltApp
+from repro.synth.config import PRESETS, SynthConfig, get_preset
+from repro.synth.generator import build_synth_app, generate_plan
+
+SCHEME = "synth:"
+
+
+def format_synth_name(seed: int, preset: str = "default") -> str:
+    """The canonical app name for ``(seed, preset)``."""
+    name = f"synth:{seed}"
+    return name if preset == "default" else f"{name}:{preset}"
+
+
+def parse_synth_name(name: str) -> Tuple[int, str]:
+    """``(seed, preset)`` from a ``synth:...`` app name (raises
+    ``ValueError`` with the expected shape on malformed names)."""
+    parts = name.split(":")
+    if parts[0] != "synth" or len(parts) not in (2, 3) or not parts[1]:
+        raise ValueError(
+            f"malformed synthetic app name {name!r} "
+            "(expected synth:<seed> or synth:<seed>:<preset>)"
+        )
+    try:
+        seed = int(parts[1], 0)
+    except ValueError:
+        raise ValueError(
+            f"synthetic app seed {parts[1]!r} is not an integer "
+            "(decimal or 0x-prefixed hex)"
+        ) from None
+    if seed < 0:
+        raise ValueError("synthetic app seed must be non-negative")
+    preset = parts[2] if len(parts) == 3 else "default"
+    if preset not in PRESETS:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(
+            f"unknown synth preset {preset!r} (known: {known})"
+        )
+    return seed, preset
+
+
+class SynthApp(AppSpec):
+    """An :class:`AppSpec` wrapping one generated kernel, so synthetic
+    workloads flow through the engine/lint/serve stack unchanged."""
+
+    def __init__(
+        self,
+        seed: int,
+        preset: str = "default",
+        config: Optional[SynthConfig] = None,
+        name: Optional[str] = None,
+    ):
+        self.seed = seed
+        self.preset = preset
+        self.config = config if config is not None else get_preset(preset)
+        self.name = name or format_synth_name(seed, preset)
+        self.description = (
+            f"synthetic SPMD kernel (seed={seed}, preset={preset})"
+        )
+        self.default_size = {}
+
+    def build(self, nthreads: int, **size) -> BuiltApp:
+        if size:
+            raise TypeError(
+                f"synthetic apps take no size parameters, got {sorted(size)}"
+            )
+        plan = generate_plan(self.seed, self.config)
+        return build_synth_app(plan, nthreads, name=self.name)
+
+
+def resolve_synth(name: str) -> SynthApp:
+    """The :class:`SynthApp` for a ``synth:...`` name (registry hook)."""
+    seed, preset = parse_synth_name(name)
+    return SynthApp(seed, preset, name=name)

@@ -413,3 +413,58 @@ def test_degradation_scenario_is_identical_everywhere(seed):
             backends=("interpreter", "compiled"),
         )
     assert '"component_availability"' in canonical
+
+
+# -- synthetic-kernel generator (repro.synth) ----------------------------------
+
+_SYNTH_CONFIGS = st.builds(
+    dict,
+    segments=st.integers(min_value=1, max_value=5),
+    shared_load_density=st.floats(min_value=0.0, max_value=1.0),
+    max_group=st.integers(min_value=1, max_value=6),
+    branchiness=st.floats(min_value=0.0, max_value=1.0),
+    loop_depth=st.integers(min_value=0, max_value=2),
+    faa_weight=st.floats(min_value=0.0, max_value=1.0),
+    sync=st.sampled_from(["none", "lock", "barrier", "mixed"]),
+    region_words=st.sampled_from([8, 16, 32]),
+)
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       raw=_SYNTH_CONFIGS)
+def test_synth_generator_is_seed_deterministic(seed, raw):
+    """Same (seed, config) => byte-identical plan, program and image."""
+    from repro.synth import SynthConfig, build_synth_app, generate_plan
+    from repro.synth.generator import program_fingerprint
+
+    config = SynthConfig(**raw)
+    first_plan = generate_plan(seed, config)
+    second_plan = generate_plan(seed, config)
+    assert first_plan == second_plan
+    first = build_synth_app(first_plan, 4)
+    second = build_synth_app(second_plan, 4)
+    assert program_fingerprint(first.program) == program_fingerprint(
+        second.program
+    )
+    assert first.shared == second.shared
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16), raw=_SYNTH_CONFIGS)
+def test_synth_kernels_lint_clean_by_construction(seed, raw):
+    """Sampled across the config space, every generated kernel passes
+    repro.lint with zero diagnostics for every switch model."""
+    from repro.compiler.passes import prepare_for_model
+    from repro.lint import lint_pair
+    from repro.synth import SynthConfig, generate_app
+
+    app = generate_app(seed, SynthConfig(**raw), nthreads=4)
+    for model in SwitchModel:
+        prepared = prepare_for_model(app.program, model)
+        report = lint_pair(app.program, prepared, model)
+        assert not report.diagnostics, (
+            f"{model.value}: {[d.render() for d in report.diagnostics]}"
+        )

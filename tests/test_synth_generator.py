@@ -1,0 +1,198 @@
+"""repro.synth generator: determinism, validity by construction, and
+the ``synth:<seed>[:<preset>]`` registry scheme."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.compiler.passes import prepare_for_model
+from repro.harness.sizes import sizes_for
+from repro.lint import lint_pair
+from repro.machine import SwitchModel
+from repro.machine.config import MachineConfig
+from repro.runtime.execution import run_app
+from repro.synth import (
+    PRESETS,
+    SynthConfig,
+    build_synth_app,
+    format_synth_name,
+    generate_app,
+    generate_plan,
+    get_preset,
+    parse_synth_name,
+    plan_segment_ids,
+    program_fingerprint,
+    prune_plan,
+)
+
+ALL_MODELS = list(SwitchModel)
+
+
+def _run(app, model, backend="interpreter"):
+    config = MachineConfig(
+        model=model,
+        num_processors=2,
+        threads_per_processor=2,
+        latency=0 if model is SwitchModel.IDEAL else 32,
+    )
+    program = prepare_for_model(app.program, model)
+    return run_app(app, config, program=program, backend=backend)
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_same_seed_same_plan_and_program():
+    cfg = get_preset("quick")
+    assert generate_plan(9, cfg) == generate_plan(9, cfg)
+    first = build_synth_app(generate_plan(9, cfg), 4)
+    second = build_synth_app(generate_plan(9, cfg), 4)
+    assert program_fingerprint(first.program) == program_fingerprint(
+        second.program
+    )
+    assert first.shared == second.shared
+
+
+def test_different_seeds_differ():
+    cfg = get_preset("quick")
+    fingerprints = {
+        program_fingerprint(build_synth_app(generate_plan(s, cfg), 4).program)
+        for s in range(6)
+    }
+    assert len(fingerprints) > 1
+
+
+def test_config_round_trip_and_validation():
+    cfg = SynthConfig(segments=4, sync="lock", region_words=16)
+    assert SynthConfig.from_dict(cfg.to_dict()) == cfg
+    with pytest.raises(ValueError):
+        SynthConfig(segments=0)
+    with pytest.raises(ValueError):
+        SynthConfig(sync="mutex")
+    with pytest.raises(ValueError):
+        SynthConfig(region_words=12)  # not a power of two
+    with pytest.raises(KeyError, match="unknown synth preset"):
+        get_preset("nope")
+    assert set(PRESETS) == {"default", "dense", "branchy", "sync", "quick"}
+
+
+# -- validity by construction --------------------------------------------------
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_kernels_lint_clean_across_all_models(preset):
+    app = generate_app(11, get_preset(preset), nthreads=4)
+    for model in ALL_MODELS:
+        prepared = prepare_for_model(app.program, model)
+        report = lint_pair(app.program, prepared, model)
+        assert not report.diagnostics, (
+            f"{preset}/{model.value}: "
+            f"{[d.render() for d in report.diagnostics]}"
+        )
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_kernels_pass_their_reference_check(preset):
+    app = generate_app(5, get_preset(preset), nthreads=4)
+    for model in (SwitchModel.SWITCH_ON_LOAD, SwitchModel.EXPLICIT_SWITCH):
+        result = _run(app, model)  # run_app re-raises on check failure
+        assert result.stats.halted_threads == 4
+
+
+def test_backends_agree_on_a_generated_kernel():
+    app = generate_app(13, get_preset("quick"), nthreads=4)
+    interp = _run(app, SwitchModel.CONDITIONAL_SWITCH, backend="interpreter")
+    compiled = _run(app, SwitchModel.CONDITIONAL_SWITCH, backend="compiled")
+    assert interp.stats.to_dict() == compiled.stats.to_dict()
+    assert interp.shared == compiled.shared
+
+
+def test_prune_plan_keeps_kernels_valid():
+    plan = generate_plan(7, get_preset("quick"))
+    ids = plan_segment_ids(plan)
+    assert ids
+    pruned = prune_plan(plan, set(ids[:1]))
+    assert plan_segment_ids(pruned) == ids[:1]
+    app = build_synth_app(pruned, 4)
+    _run(app, SwitchModel.SWITCH_ON_LOAD)  # reference check still holds
+    empty = build_synth_app(prune_plan(plan, set()), 4)
+    _run(empty, SwitchModel.SWITCH_ON_LOAD)
+
+
+def test_sync_kernels_execute_locks_and_barriers():
+    app = generate_app(2, get_preset("sync"), nthreads=4)
+    result = _run(app, SwitchModel.SWITCH_ON_LOAD)
+    assert result.stats.sync_msgs > 0
+
+
+# -- registry scheme -----------------------------------------------------------
+
+
+def test_parse_synth_name():
+    assert parse_synth_name("synth:42") == (42, "default")
+    assert parse_synth_name("synth:0x2a:dense") == (42, "dense")
+    assert format_synth_name(42) == "synth:42"
+    assert format_synth_name(42, "dense") == "synth:42:dense"
+    for bad in ("synth:", "synth:abc", "synth:-1", "synth:1:nope",
+                "synth:1:dense:extra"):
+        with pytest.raises(ValueError):
+            parse_synth_name(bad)
+
+
+def test_get_app_resolves_synth_scheme():
+    spec = get_app("synth:42:quick")
+    assert spec.name == "synth:42:quick"
+    app = spec.build(4)
+    reference = generate_app(42, get_preset("quick"), nthreads=4)
+    assert program_fingerprint(app.program) == program_fingerprint(
+        reference.program
+    )
+    with pytest.raises(TypeError):
+        spec.build(4, limit=100)  # synth kernels take no size keywords
+
+
+def test_get_app_synth_errors_are_keyerrors():
+    with pytest.raises(KeyError, match="synth"):
+        get_app("synth:notanumber")
+    with pytest.raises(KeyError, match="preset"):
+        get_app("synth:1:bogus")
+
+
+def test_unknown_app_error_names_apps_and_synth_scheme():
+    with pytest.raises(KeyError) as excinfo:
+        get_app("doom")
+    message = str(excinfo.value)
+    assert "sieve" in message and "mp3d" in message
+    assert "synth:<seed>[:<preset>]" in message
+
+
+def test_sizes_for_unknown_app_is_empty():
+    assert sizes_for("synth:1:quick", "tiny") == {}
+    assert sizes_for("sieve", "tiny") == {"limit": 600}
+    with pytest.raises(KeyError, match="unknown scale"):
+        sizes_for("sieve", "huge")
+
+
+def test_synth_runs_through_api_facade():
+    import repro
+
+    result = repro.simulate(
+        "synth:5:quick",
+        model="switch-on-load",
+        processors=2,
+        level=2,
+        scale="tiny",
+        latency=32,
+    )
+    assert result.stats.halted_threads == 4
+
+
+def test_experiment_context_accepts_synth_apps():
+    from repro.harness.context import ExperimentContext
+
+    with ExperimentContext(scale="tiny", apps=["synth:42:quick", "sieve"]) as ctx:
+        assert ctx.app_names() == ["synth:42:quick", "sieve"]
+        assert [spec.name for spec in ctx.apps()] == ["synth:42:quick", "sieve"]
+        assert ctx.size_of("synth:42:quick") == {}
+        assert ctx.size_of("sieve") == {"limit": 600}
+        result = ctx.run("synth:42:quick", SwitchModel.SWITCH_ON_LOAD, 2, 2)
+        assert result.stats.halted_threads == 4
