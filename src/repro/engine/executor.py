@@ -281,6 +281,9 @@ class Engine:
         self._simulated_cycles = 0
         self._wall_time = 0.0
         self._started = time.perf_counter()
+        #: Distinct (program, machine shape) combos resolved so far —
+        #: the inputs :meth:`predicted` feeds the static predictor.
+        self._predict_keys: Dict[Tuple, str] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -349,10 +352,45 @@ class Engine:
             }
         )
 
+    def predicted(self) -> Dict[str, Dict]:
+        """Static performance bounds (:mod:`repro.lint.predict`) for
+        every distinct program this engine resolved, keyed by spec
+        label.  Memoised per (app, model, shape); a program the
+        predictor cannot analyse is skipped — prediction must never
+        fail a sweep."""
+        from repro.lint import predict_spec_cached
+
+        out: Dict[str, Dict] = {}
+        for key, label in self._predict_keys.items():
+            try:
+                prediction = predict_spec_cached(*key)
+            except Exception:  # noqa: BLE001 - advisory output only
+                continue
+            out[label] = prediction.to_dict()
+        return out
+
+    def _record_predict_key(self, spec: RunSpec) -> None:
+        try:
+            forced = spec.machine_config().forced_switch_interval
+        except Exception:  # noqa: BLE001 - bad overrides already failed the run
+            return
+        key = (
+            spec.app,
+            spec.model,
+            spec.processors,
+            spec.level,
+            spec.scale,
+            spec.effective_latency,
+            forced,
+            spec.effective_code_model.value,
+        )
+        self._predict_keys.setdefault(key, spec.label())
+
     def report(self) -> Dict:
         """Machine-readable summary of everything this engine did."""
         completed = self._counts["executed"] + self._counts["cached"]
         return {
+            "predicted": self.predicted(),
             "executed": self._counts["executed"],
             "executed_by_backend": dict(
                 sorted(self._executed_by_backend.items())
@@ -476,6 +514,7 @@ class Engine:
         if recorder is not None:
             recorder.finish(deserialize_span)
         self._memo[key] = result
+        self._record_predict_key(spec)
         if source == "run":
             self._counts["executed"] += 1
             backend = resolve_backend(spec.backend)

@@ -42,6 +42,15 @@ from repro.lint.diagnostics import (
     LintReport,
     Rule,
     Severity,
+    apply_rule_filters,
+)
+from repro.lint.predict import (
+    ModelPrediction,
+    Prediction,
+    ProgramAnalysis,
+    call_graph,
+    predict_prepared,
+    predict_program,
 )
 from repro.lint.rules import RULES, check_transform, run_rules
 
@@ -49,15 +58,23 @@ __all__ = [
     "Diagnostic",
     "LintError",
     "LintReport",
+    "ModelPrediction",
+    "Prediction",
+    "ProgramAnalysis",
     "Rule",
     "RULES",
     "Severity",
+    "apply_rule_filters",
+    "call_graph",
     "lint_program",
     "lint_pair",
     "lint_app_model",
     "lint_spec",
     "lint_spec_cached",
     "lint_matrix",
+    "predict_prepared",
+    "predict_program",
+    "predict_spec_cached",
 ]
 
 
@@ -132,6 +149,43 @@ def lint_spec(spec) -> LintReport:
         spec.effective_code_model.value,
         spec.total_threads,
         spec.scale,
+    )
+
+
+@functools.lru_cache(maxsize=128)
+def predict_spec_cached(
+    app: str,
+    model: str,
+    processors: int,
+    level: int,
+    scale: str,
+    latency: int,
+    forced_interval: int = 200,
+    code_model: Optional[str] = None,
+) -> ModelPrediction:
+    """Per-process memo of the static performance bounds for the program
+    a :class:`~repro.engine.spec.RunSpec` would run — the engine and the
+    serve scheduler attach these to every report, and sweeps repeat
+    (app, model, shape) triples.  *code_model* lowers the program for a
+    different model than the machine runs (the reorganisation-penalty
+    experiments); the bounds always describe the *machine* model's
+    switching semantics over that code."""
+    from repro.apps.registry import get_app
+    from repro.compiler.passes import prepare_for_model
+    from repro.harness.sizes import sizes_for
+
+    resolved = SwitchModel.parse(model)
+    lowered = SwitchModel.parse(code_model) if code_model else resolved
+    spec = get_app(app)
+    built = spec.build(processors * level, **sizes_for(app, scale))
+    prepared = prepare_for_model(built.program, lowered)
+    return predict_prepared(
+        prepared,
+        resolved,
+        latency=latency,
+        processors=processors,
+        level=level,
+        forced_interval=forced_interval,
     )
 
 

@@ -1,0 +1,302 @@
+"""``repro-analyze`` — static performance prediction and validation.
+
+Examples::
+
+    repro-analyze sieve                    # per-model bound table
+    repro-analyze --all --json pred.json   # machine-readable predictions
+    repro-analyze sor --sarif sor.sarif    # lint findings as SARIF
+    repro-analyze --all --validate         # predicted vs measured gate
+    repro-analyze --validate --seeds 25    # + differential synth seeds
+    repro-analyze --selftest               # prove the validator's teeth
+
+Exit status: 0 on success, 1 when validation (or the self-test) found
+violations, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _bound(value) -> str:
+    return "inf" if value is None else str(value)
+
+
+def _render_prediction(name: str, prediction) -> str:
+    header = (
+        f"{name} @ P={prediction.processors} M={prediction.level} "
+        f"L={prediction.latency}"
+    )
+    lines = [header]
+    lines.append(
+        f"  {'model':22s} {'run[min,max]':>14s} {'sw[min,max]':>14s} "
+        f"{'util<=':>8s} {'sites':>6s} {'mean~':>7s}"
+    )
+    for model_name, model in sorted(prediction.models.items()):
+        runs = f"[{model.run_min},{_bound(model.run_max)}]"
+        switches = f"[{model.switch_min},{_bound(model.switch_max)}]"
+        lines.append(
+            f"  {model_name:22s} {runs:>14s} {switches:>14s} "
+            f"{model.utilization_bound:8.3f} "
+            f"{model.static_switch_sites:6d} "
+            f"{model.mean_run_estimate:7.1f}"
+        )
+    functions = prediction.call_graph.get("functions", [])
+    if functions:
+        lines.append(f"  call graph: {len(functions)} function(s)")
+        for fn in functions:
+            label = fn["label"] or f"pc {fn['entry_pc']}"
+            lines.append(
+                f"    {label}: {len(fn['callers'])} call site(s), "
+                f"{fn['instructions']} instruction(s), "
+                f"{fn['shared_loads']} shared load(s)"
+            )
+    bounded = sum(
+        1 for loop in prediction.loops if loop.trips is not None
+    )
+    if prediction.loops:
+        lines.append(
+            f"  loops: {len(prediction.loops)} "
+            f"({bounded} with static trip counts)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.apps.registry import app_names, get_app
+    from repro.harness.sizes import sizes_for
+    from repro.lint.predict import predict_program
+    from repro.machine.models import SwitchModel
+
+    apps = args.apps or (app_names() if args.all else None)
+    if not apps:
+        print(
+            "repro-analyze: name at least one application or pass --all",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        models = (
+            [SwitchModel.parse(m) for m in args.model]
+            or list(SwitchModel)
+        )
+        nthreads = args.processors * args.level
+        predictions = {}
+        for name in apps:
+            spec = get_app(name)
+            app = spec.build(nthreads, **sizes_for(spec.name, args.scale))
+            predictions[name] = predict_program(
+                app.program,
+                models,
+                latency=args.latency,
+                processors=args.processors,
+                level=args.level,
+            )
+    except (KeyError, ValueError) as error:
+        print(f"repro-analyze: {error}", file=sys.stderr)
+        return 2
+
+    for name, prediction in predictions.items():
+        print(_render_prediction(name, prediction))
+
+    status = 0
+    payload = {
+        "scale": args.scale,
+        "predictions": {
+            name: prediction.to_dict()
+            for name, prediction in predictions.items()
+        },
+    }
+    if args.validate or args.seeds:
+        payload["validation"] = _run_validation(args, apps, models)
+        if not payload["validation"]["ok"]:
+            status = 1
+    if args.json:
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"[analyze] wrote {args.json}", file=sys.stderr)
+    if args.sarif:
+        _write_sarif(args, apps, models)
+    return status
+
+
+def _run_validation(args, apps, models) -> dict:
+    """Differential predicted-vs-measured gate (apps + synth seeds)."""
+    from repro.lint.validate import validate_apps, validate_synth_seeds
+
+    summary: dict = {"ok": True}
+    if args.validate:
+        app_summary = validate_apps(
+            apps,
+            [m.value for m in models],
+            scale=args.scale,
+            processors=args.processors,
+            level=args.level,
+            latency=args.latency,
+        )
+        summary["apps"] = app_summary
+        summary["ok"] = summary["ok"] and app_summary["ok"]
+        print(
+            f"[analyze] apps: {len(app_summary['cells'])} cell(s), "
+            f"{len(app_summary['violations'])} violation(s)",
+            file=sys.stderr,
+        )
+        for violation in app_summary["violations"]:
+            print(
+                f"  {violation['invariant']}: {violation['message']}",
+                file=sys.stderr,
+            )
+    if args.seeds:
+        from repro.synth.fuzz import FuzzOptions
+
+        synth_summary = validate_synth_seeds(
+            range(args.seeds),
+            options=FuzzOptions(models=tuple(m.value for m in models)),
+            bundle_dir=args.bundle_dir,
+        )
+        summary["synth"] = synth_summary
+        summary["ok"] = summary["ok"] and synth_summary["ok"]
+        print(
+            f"[analyze] synth: {synth_summary['seeds']} seed(s), "
+            f"{synth_summary['failures']} failure(s)",
+            file=sys.stderr,
+        )
+        for path in synth_summary["bundles"]:
+            print(f"  bundle: {path}", file=sys.stderr)
+    return summary
+
+
+def _write_sarif(args, apps, models) -> None:
+    from repro.lint import lint_matrix
+    from repro.lint.sarif import write_sarif
+
+    reports = list(
+        lint_matrix(
+            apps,
+            models,
+            nthreads=args.processors * args.level,
+            scale=args.scale,
+        )
+    )
+    write_sarif(args.sarif, reports, tool_name="repro-analyze")
+    print(f"[analyze] wrote {args.sarif}", file=sys.stderr)
+
+
+def _cmd_selftest(args) -> int:
+    from repro.lint.validate import SelfTestError, run_selftest
+
+    try:
+        summary = run_selftest(seed=args.seed)
+    except SelfTestError as error:
+        print(f"repro-analyze: selftest FAILED: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"[analyze] selftest passed: {len(summary)} unsound bound(s) "
+        "caught and shrunk",
+        file=sys.stderr,
+    )
+    for name, entry in sorted(summary.items()):
+        print(
+            f"  {name}: {entry['invariant']} "
+            f"({entry['original_segments']}->"
+            f"{entry['shrunk_segments']} segments)"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Interprocedural static performance prediction: "
+        "run-length/switch bounds per switch model, with differential "
+        "validation against the simulator.",
+    )
+    parser.add_argument(
+        "apps",
+        nargs="*",
+        help="applications to analyze (Table 1 names or synth:<seed>)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="analyze every Table 1 application"
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="MODEL",
+        help="switch model(s) to predict (repeatable; default: all eight)",
+    )
+    parser.add_argument(
+        "--scale", default="tiny", help="problem scale (default: tiny)"
+    )
+    parser.add_argument(
+        "--processors", type=int, default=2, help="processor count (P)"
+    )
+    parser.add_argument(
+        "--level", type=int, default=2, help="threads per processor (M)"
+    )
+    parser.add_argument(
+        "--latency", type=int, default=200,
+        help="memory round-trip latency in cycles (default: 200)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="dump predictions (and validation) as JSON "
+        "(to stdout with no PATH)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also lint the selected apps and export SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="simulate every cell and gate the static bounds against "
+        "measured statistics",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also validate N synthetic fuzz kernels (seeds 0..N-1)",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        metavar="DIR",
+        help="write shrunk repro bundles for failing seeds here",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="corrupt the predictor deliberately and prove the "
+        "validator catches it",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="selftest victim seed"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.selftest:
+            return _cmd_selftest(args)
+        return _cmd_analyze(args)
+    except BrokenPipeError:  # e.g. `repro-analyze --all | head`
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,7 +18,40 @@ import json
 import sys
 
 from repro.lint import lint_matrix
-from repro.lint.diagnostics import Severity
+from repro.lint.diagnostics import Severity, apply_rule_filters
+
+
+def _check_rule_ids(ids) -> None:
+    """Reject unknown rule ids, listing the valid vocabulary."""
+    from repro.lint.rules import RULES
+
+    unknown = sorted(set(ids) - set(RULES))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(valid: {', '.join(sorted(RULES))})"
+        )
+
+
+def parse_rule_filters(args):
+    """(select, ignore, overrides) from ``--select``/``--ignore``/
+    ``--severity RULE=LEVEL`` flags; raises ``ValueError`` on unknown
+    rule ids or malformed overrides."""
+    select = set(args.select) if args.select else None
+    if select is not None:
+        _check_rule_ids(select)
+    ignore = set(args.ignore)
+    _check_rule_ids(ignore)
+    overrides = {}
+    for item in args.severity:
+        rule, sep, level = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"--severity expects RULE=LEVEL, got {item!r}"
+            )
+        _check_rule_ids([rule])
+        overrides[rule] = Severity.parse(level)
+    return select, ignore, overrides
 
 
 def _cmd_lint(args) -> int:
@@ -33,6 +66,7 @@ def _cmd_lint(args) -> int:
         )
         return 2
     try:
+        select, ignore, overrides = parse_rule_filters(args)
         models = [SwitchModel.parse(m) for m in args.model] or list(SwitchModel)
         reports = list(
             lint_matrix(apps, models, nthreads=args.threads, scale=args.scale)
@@ -40,6 +74,11 @@ def _cmd_lint(args) -> int:
     except (KeyError, ValueError) as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
+    if select is not None or ignore or overrides:
+        reports = [
+            apply_rule_filters(report, select, ignore, overrides)
+            for report in reports
+        ]
 
     min_severity = Severity.INFO if args.verbose else Severity.WARNING
     failed = 0
@@ -70,6 +109,11 @@ def _cmd_lint(args) -> int:
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
             print(f"[lint] wrote {args.json}", file=sys.stderr)
+    if args.sarif:
+        from repro.lint.sarif import write_sarif
+
+        write_sarif(args.sarif, reports)
+        print(f"[lint] wrote {args.sarif}", file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -124,6 +168,34 @@ def main(argv=None) -> int:
         default=None,
         metavar="PATH",
         help="dump the full report as JSON (to stdout with no PATH)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="keep only the named rule id(s) (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="drop the named rule id(s) (repeatable)",
+    )
+    parser.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="RULE=LEVEL",
+        help="override one rule's severity (info/warning/error; "
+        "repeatable)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also export the findings as a SARIF 2.1.0 document",
     )
     parser.add_argument(
         "--verbose",

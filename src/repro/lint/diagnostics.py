@@ -86,6 +86,42 @@ class Diagnostic:
         }
 
 
+def apply_rule_filters(
+    report: "LintReport",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    overrides: Optional[Dict[str, Severity]] = None,
+) -> "LintReport":
+    """A new report with rule-id filters applied.
+
+    *select* keeps only the named rules (``None`` keeps all), *ignore*
+    drops the named rules, and *overrides* re-levels findings per rule
+    id — so a policy can e.g. promote ``advice-group-loads`` to a gating
+    error or silence a known-noisy warning without touching the rules.
+    """
+    selected = set(select) if select is not None else None
+    ignored = set(ignore or ())
+    levels = overrides or {}
+    kept = []
+    for diagnostic in report.diagnostics:
+        if selected is not None and diagnostic.rule_id not in selected:
+            continue
+        if diagnostic.rule_id in ignored:
+            continue
+        if diagnostic.rule_id in levels:
+            diagnostic = dataclasses.replace(
+                diagnostic, severity=levels[diagnostic.rule_id]
+            )
+        kept.append(diagnostic)
+    return LintReport(
+        report.program,
+        report.model,
+        kept,
+        instructions=report.instructions,
+        blocks=report.blocks,
+    )
+
+
 class LintError(Exception):
     """Raised by a lint gate when error-severity diagnostics exist; the
     offending :class:`LintReport` is attached as ``report``."""
@@ -115,17 +151,41 @@ class LintReport:
     ):
         self.program = program
         self.model = model
-        self.diagnostics: List[Diagnostic] = list(diagnostics or ())
+        self.diagnostics: List[Diagnostic] = []
+        self._seen: set = set()
         self.instructions = instructions
         self.blocks = blocks
+        self.extend(diagnostics or ())
 
     # -- accounting ----------------------------------------------------------
 
+    @staticmethod
+    def _order_key(diagnostic: Diagnostic):
+        return (
+            diagnostic.pc if diagnostic.pc is not None else -1,
+            diagnostic.rule_id,
+        )
+
     def add(self, diagnostic: Diagnostic) -> None:
-        self.diagnostics.append(diagnostic)
+        """Record one finding.  Identical (rule, pc, message) findings
+        collapse to a single entry, and the report stays sorted stably
+        by (pc, rule) so JSON output is byte-deterministic regardless of
+        rule execution order."""
+        key = (diagnostic.rule_id, diagnostic.pc, diagnostic.message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        order = self._order_key(diagnostic)
+        position = len(self.diagnostics)
+        while position > 0 and self._order_key(
+            self.diagnostics[position - 1]
+        ) > order:
+            position -= 1
+        self.diagnostics.insert(position, diagnostic)
 
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
-        self.diagnostics.extend(diagnostics)
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
 
     def by_severity(self, severity: Severity) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]

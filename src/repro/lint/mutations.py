@@ -260,6 +260,76 @@ def _mutate_shared_store_race(rng: random.Random) -> LintReport:
     return lint_program(victim)
 
 
+def _mutate_lock_order(rng: random.Random) -> LintReport:
+    """Two ticket locks taken as A->B on one path and B->A later: the
+    classic deadlock-capable ordering cycle."""
+    b = ProgramBuilder()
+    lock_a = b.int_reg("lock_a")
+    lock_b = b.int_reg("lock_b")
+    b.addi(lock_a, "args", 2)
+    b.addi(lock_b, "args", 4)
+    first = emit_lock_acquire(b, lock_a)
+    second = emit_lock_acquire(b, lock_b)
+    emit_lock_release(b, lock_b, second)
+    emit_lock_release(b, lock_a, first)
+    second = emit_lock_acquire(b, lock_b)  # reverse order this time
+    first = emit_lock_acquire(b, lock_a)
+    emit_lock_release(b, lock_a, first)
+    emit_lock_release(b, lock_b, second)
+    b.halt()
+    return lint_program(b.build("lock-order-victim"))
+
+
+def _mutate_unreleased_lock(rng: random.Random) -> LintReport:
+    """A critical section that halts without ever releasing its lock —
+    every other thread spins on the serving word forever."""
+    b = ProgramBuilder()
+    lock = b.int_reg("lock")
+    b.addi(lock, "args", 2)
+    emit_lock_acquire(b, lock)
+    value = b.int_reg("value")
+    b.li(value, 7)
+    b.sws(value, "args", 4)
+    b.halt()  # missing emit_lock_release
+    return lint_program(b.build("unreleased-victim"))
+
+
+def _mutate_barrier_participation(rng: random.Random) -> LintReport:
+    """A barrier guarded by ``if tid == 0`` — only one thread arrives,
+    and it spins on the generation word forever."""
+    b = ProgramBuilder()
+    only = b.int_reg("only")
+    b.li(only, 0)
+    with b.if_cmp("eq", "tid", only):
+        emit_barrier(b, "args", "ntid")
+    b.halt()
+    return lint_program(b.build("barrier-victim"))
+
+
+def _mutate_group_advice(rng: random.Random) -> LintReport:
+    """Original (unprepared) code bound for a grouping model with two
+    independent shared loads separated by unrelated work — the exact
+    shape Section 5.1 grouping improves."""
+    b = ProgramBuilder()
+    a = b.int_reg("a")
+    c = b.int_reg("c")
+    filler = b.int_reg("filler")
+    b.lws(a, "args", 0)
+    b.li(filler, 3)  # unrelated work keeps the loads apart
+    b.lws(c, "args", 1)
+    total = b.int_reg("total")
+    b.add(total, a, c)
+    b.add(total, total, filler)
+    base = b.int_reg("base")
+    b.add(base, "args", "tid")
+    b.sws(total, base, 8)
+    b.halt()
+    return lint_program(
+        b.build("advice-victim"), SwitchModel.EXPLICIT_SWITCH,
+        prepared=False,
+    )
+
+
 MUTATIONS: Dict[str, Callable[[random.Random], LintReport]] = {
     "isa-operand-range": _mutate_operand_range,
     "isa-operand-kind": _mutate_operand_kind,
@@ -274,6 +344,10 @@ MUTATIONS: Dict[str, Callable[[random.Random], LintReport]] = {
     "paper-use-model-switch": _mutate_use_model_switch,
     "paper-grouping-permutation": _mutate_grouping_permutation,
     "paper-shared-store-race": _mutate_shared_store_race,
+    "sync-lock-order": _mutate_lock_order,
+    "sync-unreleased-lock": _mutate_unreleased_lock,
+    "sync-barrier-participation": _mutate_barrier_participation,
+    "advice-group-loads": _mutate_group_advice,
 }
 
 

@@ -105,6 +105,15 @@ RULES: Dict[str, Rule] = {
         Rule("paper-shared-store-race", Severity.WARNING,
              "shared store whose address is not thread-unique or "
              "sync-guarded"),
+        Rule("sync-lock-order", Severity.WARNING,
+             "locks acquired in inconsistent order (deadlock cycle)"),
+        Rule("sync-unreleased-lock", Severity.WARNING,
+             "lock may still be held when the thread halts"),
+        Rule("sync-barrier-participation", Severity.WARNING,
+             "barrier reachable by only a subset of threads"),
+        Rule("advice-group-loads", Severity.INFO,
+             "ungrouped independent shared loads; grouping would "
+             "lengthen static run lengths"),
     )
 }
 
@@ -586,6 +595,363 @@ def _check_shared_store_race(cfg: LintCFG, report: LintReport) -> None:
 
 
 # ---------------------------------------------------------------------------
+# sync-* rules: lock/barrier safety over the runtime.sync idioms
+# ---------------------------------------------------------------------------
+
+#: How far (in instructions) a spin loop may sit after the sync FAA that
+#: opened its lock/barrier.  The ``runtime.sync`` emitters place them 1
+#: (ticket lock) and 7 (barrier: count bump, participation branch, and
+#: the 4-instruction last-arrival arm) instructions apart.
+_SYNC_FAA_SCAN = 10
+
+
+def _sync_spin_blocks(cfg: LintCFG) -> List[Tuple[int, Op]]:
+    """Blocks of the runtime's spin shape — a sync-marked shared load
+    followed by a branch back onto it.  A BNE spin waits for a ticket
+    lock's serving counter, a BEQ spin waits for a barrier's generation
+    word (see :mod:`repro.runtime.sync`)."""
+    found = []
+    for index in range(len(cfg)):
+        block = cfg.blocks[index]
+        if len(block.instructions) != 2:
+            continue
+        load, branch = block.instructions
+        if load.op not in (Op.LWS, Op.LDS) or not load.sync:
+            continue
+        if branch.op not in (Op.BNE, Op.BEQ):
+            continue
+        if branch.target != block.start:
+            continue
+        found.append((index, branch.op))
+    return found
+
+
+def _sync_events(cfg: LintCFG):
+    """Classify every sync-marked FAA as a lock acquire or a barrier
+    entry by the spin loop that follows it, and pair sync stores with the
+    lock word they release.
+
+    Returns ``(acquires, releases, barrier_blocks)`` where *acquires*
+    maps ``pc -> identity``, *releases* maps ``pc -> identity`` and
+    *barrier_blocks* is the set of blocks holding a barrier-entry FAA.
+    Identity is the lock word's address when constant propagation can see
+    it, else a conservative per-site key (so unrelated locks never
+    merge, at the price of missing some aliases).
+    """
+    from repro.lint.predict import ProgramAnalysis
+
+    analysis = ProgramAnalysis(cfg.program)
+    instructions = cfg.program.instructions
+
+    def word_identity(pc: int, base_reg: int, offset: int):
+        base = analysis.const_at(pc, base_reg)
+        if base is not None:
+            return ("addr", base + offset)
+        return ("site", base_reg, offset)
+
+    claimed: Dict[int, Op] = {}
+    for spin_index, branch_op in _sync_spin_blocks(cfg):
+        start = cfg.blocks[spin_index].start
+        for pc in range(start - 1, max(-1, start - 1 - _SYNC_FAA_SCAN), -1):
+            ins = instructions[pc]
+            if ins.op is Op.FAA and ins.sync:
+                claimed.setdefault(pc, branch_op)
+                break
+
+    acquires: Dict[int, Tuple] = {}
+    barrier_blocks: Set[int] = set()
+    for pc, branch_op in claimed.items():
+        ins = instructions[pc]
+        if branch_op is Op.BNE:  # ticket lock: faa on the ticket word
+            acquires[pc] = word_identity(pc, ins.rs1, ins.imm)
+        else:  # barrier: faa on the arrival counter
+            barrier_blocks.add(cfg.block_of_pc(pc))
+
+    # A release stores the next ticket into the serving word, one past
+    # the ticket word the acquire FAA bumped.
+    releases: Dict[int, Tuple] = {}
+    for pc, ins in enumerate(instructions):
+        if ins.op in SHARED_STORES and ins.sync:
+            releases[pc] = word_identity(pc, ins.rs1, ins.imm - 1)
+    return acquires, releases, barrier_blocks
+
+
+def _check_lock_discipline(cfg: LintCFG, report: LintReport) -> None:
+    """sync-lock-order and sync-unreleased-lock: a forward may-held
+    dataflow over the acquire/release events.  Held sets meet by union —
+    a lock *possibly* held on some entry path is enough to order against
+    or to leak at a HALT."""
+    program = cfg.program
+    acquires, releases, _barriers = _sync_events(cfg)
+    if not acquires:
+        return
+
+    acquire_site: Dict[Tuple, int] = {}
+    for pc, ident in acquires.items():
+        acquire_site.setdefault(ident, pc)
+
+    def transfer(held: frozenset, index: int) -> frozenset:
+        current = set(held)
+        for pc, ins in cfg.instructions_of(index):
+            ident = acquires.get(pc)
+            if ident is not None:
+                for prior in current:
+                    if prior != ident:
+                        order_edges.setdefault((prior, ident), pc)
+                current.add(ident)
+            ident = releases.get(pc)
+            if ident is not None:
+                current.discard(ident)
+        return frozenset(current)
+
+    order_edges: Dict[Tuple[Tuple, Tuple], int] = {}
+    held_in: List[frozenset] = [frozenset() for _ in range(len(cfg))]
+    held_out: List[Optional[frozenset]] = [None] * len(cfg)
+    work = [0] if len(cfg) else []
+    while work:
+        index = work.pop()
+        out = transfer(held_in[index], index)
+        if held_out[index] == out:
+            continue
+        held_out[index] = out
+        for succ in cfg.succs[index]:
+            merged = held_in[succ] | out
+            if merged != held_in[succ]:
+                held_in[succ] = merged
+                work.append(succ)
+
+    # sync-unreleased-lock: a HALT whose may-held set is non-empty.
+    for index in range(len(cfg)):
+        if not cfg.reachable[index]:
+            continue
+        current = set(held_in[index])
+        for pc, ins in cfg.instructions_of(index):
+            if ins.op is Op.HALT and current:
+                sites = ", ".join(
+                    f"pc {acquire_site[ident]}"
+                    for ident in sorted(current, key=repr)
+                    if ident in acquire_site
+                )
+                report.add(_diag(
+                    "sync-unreleased-lock", program,
+                    f"thread can halt while still holding "
+                    f"{len(current)} lock(s) acquired at {sites} "
+                    "(no release on this path)",
+                    pc=pc, block=index,
+                ))
+            ident = acquires.get(pc)
+            if ident is not None:
+                current.add(ident)
+            ident = releases.get(pc)
+            if ident is not None:
+                current.discard(ident)
+
+    # sync-lock-order: an edge a->b means "b acquired while a held"; a
+    # cycle in that graph is a deadlock-capable ordering.
+    successors: Dict[Tuple, Set[Tuple]] = {}
+    for (a, b) in order_edges:
+        successors.setdefault(a, set()).add(b)
+
+    def reaches(src: Tuple, dst: Tuple) -> bool:
+        seen: Set[Tuple] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(successors.get(node, ()))
+        return False
+
+    for (a, b), pc in sorted(order_edges.items(), key=lambda kv: kv[1]):
+        if reaches(b, a):
+            report.add(_diag(
+                "sync-lock-order", program,
+                "lock acquired while holding the lock from "
+                f"pc {acquire_site.get(a, '?')}; the reverse order also "
+                "occurs, so two threads can deadlock",
+                pc=pc, block=cfg.block_of_pc(pc),
+            ))
+
+
+def _taint_step(tainted: int, ins: Instruction) -> int:
+    """One instruction of the thread-dependence taint transfer: FAA
+    results are always thread-unique, loads never are (memory contents
+    are not per-thread by mere addressing), and ALU results inherit
+    taint from their inputs — writes from clean inputs *kill* taint, so
+    a register reused for a uniform counter comes clean again."""
+    writes = reg_mask(instr_writes(ins))
+    if not writes:
+        return tainted
+    if ins.op is Op.FAA:
+        return tainted | writes
+    if OP_SIG[ins.op] is Sig.LOAD:
+        return tainted & ~writes
+    if reg_mask(instr_reads(ins)) & tainted:
+        return tainted | writes
+    return tainted & ~writes
+
+
+def _thread_dependent_in_masks(cfg: LintCFG) -> List[int]:
+    """Flow-sensitive may-taint at each block entry: registers whose
+    value can differ across threads (thread id and anything computed
+    from it or from an FAA result)."""
+    count = len(cfg)
+    taint_in = [0] * count
+    taint_out: List[Optional[int]] = [None] * count
+    if not count:
+        return taint_in
+    taint_in[0] = 1 << TID_REG
+    work = [0]
+    while work:
+        index = work.pop()
+        tainted = taint_in[index]
+        for _pc, ins in cfg.instructions_of(index):
+            tainted = _taint_step(tainted, ins)
+        if taint_out[index] == tainted:
+            continue
+        taint_out[index] = tainted
+        for succ in cfg.succs[index]:
+            merged = taint_in[succ] | tainted
+            if merged != taint_in[succ] or taint_out[succ] is None:
+                taint_in[succ] = merged
+                work.append(succ)
+    return taint_in
+
+
+def _check_barrier_participation(cfg: LintCFG, report: LintReport) -> None:
+    """sync-barrier-participation: after a branch whose condition is
+    thread-dependent, a barrier that one arm can reach but the other
+    cannot means only a subset of threads would arrive — stranding them
+    forever.  Comparing the two arms' reachable sets (rather than
+    demanding postdominance) keeps barriers inside loops clean: from a
+    loop-header branch both the body arm and the exit arm can reach a
+    barrier in the body via the back edge, so participation stays
+    symmetric."""
+    program = cfg.program
+    _acquires, _releases, barrier_blocks = _sync_events(cfg)
+    if not barrier_blocks:
+        return
+    taint_in = _thread_dependent_in_masks(cfg)
+
+    def reachable_from(start: int) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(cfg.succs[node])
+        return seen
+
+    for index in range(len(cfg)):
+        if not cfg.reachable[index]:
+            continue
+        term = cfg.blocks[index].terminator
+        if term is None or OP_SIG[term.op] is not Sig.BR2:
+            continue
+        arms = sorted(set(cfg.succs[index]))
+        if len(arms) < 2:
+            continue
+        tainted = taint_in[index]
+        for _pc, ins in cfg.instructions_of(index):
+            if ins is term:
+                break
+            tainted = _taint_step(tainted, ins)
+        if not (tainted & reg_mask((term.rs1, term.rs2))):
+            continue
+        arm_reach = [reachable_from(arm) & barrier_blocks for arm in arms]
+        asymmetric = set().union(*arm_reach) - set.intersection(*arm_reach)
+        for barrier_block in sorted(asymmetric):
+            branch_pc = (
+                cfg.blocks[index].start
+                + len(cfg.blocks[index].instructions) - 1
+            )
+            report.add(_diag(
+                "sync-barrier-participation", program,
+                "threads diverge on a thread-dependent condition and "
+                f"only one arm reaches the barrier in block "
+                f"{barrier_block}; skipping threads would strand the "
+                "arriving ones",
+                pc=branch_pc, block=index,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# advisor
+# ---------------------------------------------------------------------------
+
+def _check_group_advice(cfg: LintCFG, report: LintReport) -> None:
+    """advice-group-loads: on *original* code bound for a grouping model,
+    point out blocks where independent shared loads are separated by
+    unrelated work — exactly the situation Section 5.1 grouping fixes —
+    and quantify the static run-length gain."""
+    from repro.isa.opcodes import instruction_cost
+
+    program = cfg.program
+    for index in range(len(cfg)):
+        if not cfg.reachable[index]:
+            continue
+        instrs = list(cfg.instructions_of(index))
+        loads = [
+            (position, pc, ins)
+            for position, (pc, ins) in enumerate(instrs)
+            if ins.op in (Op.LWS, Op.LDS) and not ins.sync
+        ]
+        if len(loads) < 2:
+            continue
+        groupable_pc = None
+        for (pos_a, _pc_a, load_a), (pos_b, pc_b, load_b) in zip(
+            loads, loads[1:]
+        ):
+            if pos_b == pos_a + 1:
+                continue  # already adjacent
+            between = [ins for _pc, ins in instrs[pos_a + 1:pos_b]]
+            dest = set(instr_writes(load_a))
+            if any(
+                set(instr_reads(ins)) & dest
+                or set(instr_writes(ins)) & set(instr_reads(load_b))
+                or ins.op is Op.SWITCH
+                or ins.op in SHARED_LOADS
+                for ins in between
+            ):
+                continue  # dependence (or another switch point) between
+            if set(instr_reads(load_b)) & dest:
+                continue  # the second load needs the first's result
+            groupable_pc = pc_b
+            break
+        if groupable_pc is None:
+            continue
+        # Static run lengths inside this block: cut at every shared load
+        # now, versus one cut for the whole grouped block.
+        costs = [
+            0 if ins.op is Op.HALT else instruction_cost(ins.op)
+            for _pc, ins in instrs
+        ]
+        segments: List[int] = []
+        run = 0
+        for position, cost in enumerate(costs):
+            run += cost
+            if instrs[position][1].op in SHARED_LOADS:
+                segments.append(run)
+                run = 0
+        before = (
+            sum(segments) // len(segments) if segments else sum(costs)
+        )
+        after = sum(costs)
+        report.add(_diag(
+            "advice-group-loads", program,
+            f"block {index} issues {len(loads)} independent shared "
+            "loads separated by unrelated work; grouping raises the "
+            f"static run length {max(1, before)}→{max(1, after)}",
+            pc=groupable_pc, block=index,
+        ))
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -612,9 +978,13 @@ def run_rules(
     _check_structure(cfg, report)
     _check_dataflow(cfg, report)
     _check_shared_store_race(cfg, report)
+    _check_lock_discipline(cfg, report)
+    _check_barrier_participation(cfg, report)
     if prepared and model is not None:
         if model.wants_switch_instructions:
             _check_group_switch(cfg, report)
         else:
             _check_no_switches(program, report, model)
+    elif model is not None and model.wants_grouped_code:
+        _check_group_advice(cfg, report)
     return report

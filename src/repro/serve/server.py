@@ -9,8 +9,10 @@ Endpoints (JSON in, JSON out, ``/metrics`` excepted):
   count), derived from the scheduler + the engine's run-log progress
   events.
 * ``GET /v1/jobs/<id>/result`` — the per-spec result payloads
-  (:meth:`SimulationResult.to_dict`, byte-identical to a direct
-  :func:`repro.api.simulate`); 202 while pending, 500 for failed jobs.
+  (:meth:`SimulationResult.to_dict` exactly as a direct
+  :func:`repro.api.simulate` would return, plus a ``predicted`` block
+  of static performance bounds from :mod:`repro.lint.predict`); 202
+  while pending, 500 for failed jobs.
 * ``GET /healthz`` — liveness + queue/job counts + engine report.
 * ``GET /metrics`` — Prometheus text exposition
   (:meth:`MetricsRegistry.to_prometheus`).

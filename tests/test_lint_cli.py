@@ -66,6 +66,69 @@ def test_cli_selftest(capsys):
     assert "paper-group-switch: fired" in captured.out
 
 
+def failing_report(severity=Severity.ERROR):
+    report = LintReport("broken", "explicit-switch", instructions=1, blocks=1)
+    report.add(Diagnostic(
+        rule_id="isa-no-halt", severity=severity,
+        message="no HALT instruction is reachable", program="broken",
+    ))
+    return report
+
+
+def test_cli_ignore_suppresses_a_failing_rule(monkeypatch, capsys):
+    import repro.lint.cli as cli
+
+    monkeypatch.setattr(
+        cli, "lint_matrix", lambda *a, **k: iter([failing_report()])
+    )
+    assert main(["sieve"]) == 1
+    capsys.readouterr()
+    assert main(["sieve", "--ignore", "isa-no-halt"]) == 0
+    assert "0 failing" in capsys.readouterr().err
+
+
+def test_cli_select_keeps_only_named_rules(monkeypatch, capsys):
+    import repro.lint.cli as cli
+
+    monkeypatch.setattr(
+        cli, "lint_matrix", lambda *a, **k: iter([failing_report()])
+    )
+    # Selecting an unrelated rule drops the isa-no-halt error.
+    assert main(["sieve", "--select", "df-dead-write"]) == 0
+    capsys.readouterr()
+    # Selecting the failing rule keeps it.
+    assert main(["sieve", "--select", "isa-no-halt"]) == 1
+
+
+def test_cli_severity_override_demotes_and_promotes(monkeypatch, capsys):
+    import repro.lint.cli as cli
+
+    monkeypatch.setattr(
+        cli, "lint_matrix", lambda *a, **k: iter([failing_report()])
+    )
+    assert main(["sieve", "--severity", "isa-no-halt=warning"]) == 0
+    capsys.readouterr()
+
+    monkeypatch.setattr(
+        cli, "lint_matrix",
+        lambda *a, **k: iter([failing_report(Severity.WARNING)]),
+    )
+    assert main(["sieve"]) == 0
+    capsys.readouterr()
+    assert main(["sieve", "--severity", "isa-no-halt=error"]) == 1
+
+
+def test_cli_unknown_rule_id_lists_vocabulary(capsys):
+    assert main(["sieve", "--select", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id(s): no-such-rule" in err
+    assert "isa-no-halt" in err  # the valid vocabulary is listed
+
+    assert main(["sieve", "--ignore", "nope"]) == 2
+    assert main(["sieve", "--severity", "isa-no-halt"]) == 2  # missing =LEVEL
+    assert main(["sieve", "--severity", "isa-no-halt=loud"]) == 2
+
+
 def test_module_entry_point():
     import subprocess
     import sys

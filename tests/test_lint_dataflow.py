@@ -156,3 +156,106 @@ def test_jr_successors_are_jal_return_points():
     sub_block = cfg.block_of_pc(2)
     halt_block = cfg.block_of_pc(1)
     assert cfg.succs[sub_block] == [halt_block]
+
+
+def test_jr_approximation_folds_every_jal_return_point():
+    # Two call sites: the JR conservatively returns to both, so a write
+    # present on only one post-call path must not survive the must-merge.
+    program = assemble(
+        """
+        jal sub
+        li r1, 1
+        jal sub
+        li r2, 2
+        halt
+    sub:
+        addi r3, r3, 1
+        jr r31
+        """
+    )
+    cfg = LintCFG(program)
+    assert cfg.indirect_exits == []
+    jr_block = cfg.block_of_pc(6)
+    returns = sorted(cfg.succs[jr_block])
+    assert returns == sorted([cfg.block_of_pc(1), cfg.block_of_pc(3)])
+    seed = reg_mask(ENTRY_DEFINED)
+    in_masks = definitely_assigned(cfg, seed)
+    # Entering sub (reachable from both call sites), neither r1 nor r2
+    # is definitely assigned yet...
+    assert not in_masks[jr_block] & bit("r1")
+    assert not in_masks[jr_block] & bit("r2")
+    # ...and because the JR folds *both* return points, the write of r1
+    # on the first call path does not leak into the second return point.
+    assert not in_masks[cfg.block_of_pc(3)] & bit("r1")
+
+
+def test_nested_bounded_loops_structure():
+    from repro.isa.builder import ProgramBuilder
+    from repro.lint.predict import ProgramAnalysis
+
+    b = ProgramBuilder()
+    i = b.int_reg("i")
+    j = b.int_reg("j")
+    acc = b.int_reg("acc")
+    b.li(acc, 0)
+    with b.for_range(i, 0, 5):
+        with b.for_range(j, 0, 3):
+            b.addi(acc, acc, 1)
+    b.halt()
+    analysis = ProgramAnalysis(b.build("nested"))
+    assert len(analysis.loops) == 2
+    by_trips = {loop.trips: loop for loop in analysis.loops}
+    assert set(by_trips) == {5, 3}
+    # The inner loop nests inside the outer one.
+    assert by_trips[3].blocks <= by_trips[5].blocks
+    # Back edges: one per loop, each targeting its own header.
+    headers = {loop.header for loop in analysis.loops}
+    assert {h for _u, h in analysis.back_edges} == headers
+
+
+def test_unreachable_loop_header_is_ignored():
+    from repro.lint.predict import ProgramAnalysis
+
+    program = assemble(
+        """
+        j end
+    dead:
+        addi r1, r1, 1
+        bne r1, r2, dead
+    end:
+        halt
+        """
+    )
+    cfg = LintCFG(program)
+    dead_block = cfg.block_of_pc(1)
+    assert not cfg.reachable[dead_block]
+    # Unreachable blocks dominate only themselves...
+    assert dominator_masks(cfg)[dead_block] == 1 << dead_block
+    # ...so the dead cycle contributes no loop to the analysis.
+    analysis = ProgramAnalysis(program)
+    assert analysis.loops == []
+    assert analysis.max_exec[dead_block] == 0
+
+
+def test_indirect_exit_keeps_forward_analysis_sound():
+    # A JR with no return points gets *no* successors for the forward
+    # analyses: nothing downstream inherits its definitions.
+    program = assemble(
+        """
+        beq r4, r0, out
+        li r1, 1
+        jr r31
+    out:
+        halt
+        """
+    )
+    cfg = LintCFG(program)
+    jr_block = cfg.block_of_pc(2)
+    assert jr_block in cfg.indirect_exits
+    assert cfg.succs[jr_block] == []
+    halt_block = cfg.block_of_pc(3)
+    seed = reg_mask(ENTRY_DEFINED)
+    in_masks = definitely_assigned(cfg, seed)
+    # The halt block is reached only by the branch, which never saw the
+    # li: r1 must not be definitely assigned there.
+    assert not in_masks[halt_block] & bit("r1")

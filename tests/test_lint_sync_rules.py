@@ -1,0 +1,165 @@
+"""The synchronization-safety rule family and the grouping advisor."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.lint import lint_program
+from repro.lint.mutations import build_sync_victim
+from repro.machine.models import SwitchModel
+from repro.runtime.sync import (
+    emit_barrier,
+    emit_lock_acquire,
+    emit_lock_release,
+)
+
+
+def rules_fired(report):
+    return {diag.rule_id for diag in report.diagnostics}
+
+
+# -- sync-lock-order ---------------------------------------------------------
+
+
+def test_lock_order_cycle_fires():
+    b = ProgramBuilder()
+    lock_a = b.int_reg("lock_a")
+    lock_b = b.int_reg("lock_b")
+    b.addi(lock_a, "args", 2)
+    b.addi(lock_b, "args", 4)
+    ta = emit_lock_acquire(b, lock_a)
+    tb = emit_lock_acquire(b, lock_b)
+    emit_lock_release(b, lock_b, tb)
+    emit_lock_release(b, lock_a, ta)
+    tb = emit_lock_acquire(b, lock_b)  # now B before A: the cycle
+    ta = emit_lock_acquire(b, lock_a)
+    emit_lock_release(b, lock_a, ta)
+    emit_lock_release(b, lock_b, tb)
+    b.halt()
+    report = lint_program(b.build("cycle"))
+    assert "sync-lock-order" in rules_fired(report)
+
+
+def test_consistent_lock_order_is_clean():
+    b = ProgramBuilder()
+    lock_a = b.int_reg("lock_a")
+    lock_b = b.int_reg("lock_b")
+    b.addi(lock_a, "args", 2)
+    b.addi(lock_b, "args", 4)
+    for _ in range(2):  # same A->B order both times
+        ta = emit_lock_acquire(b, lock_a)
+        tb = emit_lock_acquire(b, lock_b)
+        emit_lock_release(b, lock_b, tb)
+        emit_lock_release(b, lock_a, ta)
+    b.halt()
+    report = lint_program(b.build("ordered"))
+    assert "sync-lock-order" not in rules_fired(report)
+
+
+# -- sync-unreleased-lock ----------------------------------------------------
+
+
+def test_acquire_without_release_fires():
+    b = ProgramBuilder()
+    lock = b.int_reg("lock")
+    b.addi(lock, "args", 2)
+    emit_lock_acquire(b, lock)
+    value = b.int_reg("value")
+    b.li(value, 7)
+    b.sws(value, "args", 4)
+    b.halt()  # never released
+    report = lint_program(b.build("held"))
+    assert "sync-unreleased-lock" in rules_fired(report)
+
+
+def test_balanced_critical_section_is_clean():
+    b = ProgramBuilder()
+    lock = b.int_reg("lock")
+    b.addi(lock, "args", 2)
+    ticket = emit_lock_acquire(b, lock)
+    value = b.int_reg("value")
+    b.li(value, 7)
+    b.sws(value, "args", 4)
+    emit_lock_release(b, lock, ticket)
+    b.halt()
+    report = lint_program(b.build("balanced"))
+    assert "sync-unreleased-lock" not in rules_fired(report)
+
+
+# -- sync-barrier-participation ----------------------------------------------
+
+
+def test_tid_guarded_barrier_fires():
+    b = ProgramBuilder()
+    only = b.int_reg("only")
+    b.li(only, 0)
+    with b.if_cmp("eq", "tid", only):
+        emit_barrier(b, "args", "ntid")
+    b.halt()
+    report = lint_program(b.build("guarded-barrier"))
+    assert "sync-barrier-participation" in rules_fired(report)
+
+
+def test_unconditional_barrier_is_clean():
+    b = ProgramBuilder()
+    emit_barrier(b, "args", "ntid")
+    b.halt()
+    report = lint_program(b.build("plain-barrier"))
+    assert "sync-barrier-participation" not in rules_fired(report)
+
+
+def test_barrier_inside_counted_loop_is_clean():
+    b = ProgramBuilder()
+    i = b.int_reg("i")
+    with b.for_range(i, 0, 3):
+        emit_barrier(b, "args", "ntid")
+    b.halt()
+    report = lint_program(b.build("loop-barrier"))
+    assert "sync-barrier-participation" not in rules_fired(report)
+
+
+# -- advice-group-loads ------------------------------------------------------
+
+
+def ungrouped_kernel():
+    b = ProgramBuilder()
+    a = b.int_reg("a")
+    c = b.int_reg("c")
+    filler = b.int_reg("filler")
+    b.lws(a, "args", 0)
+    b.li(filler, 3)
+    b.lws(c, "args", 1)
+    total = b.int_reg("total")
+    b.add(total, a, c)
+    b.add(total, total, filler)
+    base = b.int_reg("base")
+    b.add(base, "args", "tid")
+    b.sws(total, base, 8)
+    b.halt()
+    return b.build("ungrouped")
+
+
+def test_groupable_loads_advised_for_grouping_models():
+    report = lint_program(
+        ungrouped_kernel(), SwitchModel.EXPLICIT_SWITCH, prepared=False
+    )
+    assert "advice-group-loads" in rules_fired(report)
+    # Advice is informational, never a gate.
+    assert report.ok
+
+
+def test_prepared_code_gets_no_grouping_advice():
+    from repro.compiler.passes import prepare_for_model
+
+    prepared = prepare_for_model(
+        ungrouped_kernel(), SwitchModel.EXPLICIT_SWITCH
+    )
+    report = lint_program(
+        prepared, SwitchModel.EXPLICIT_SWITCH, prepared=True
+    )
+    assert "advice-group-loads" not in rules_fired(report)
+
+
+# -- the clean composite victim ----------------------------------------------
+
+
+def test_sync_victim_stays_clean():
+    report = lint_program(build_sync_victim())
+    assert report.diagnostics == []
